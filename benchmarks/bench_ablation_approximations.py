@@ -1,0 +1,28 @@
+"""Ablation: linear vs nonlinear cost approximations (Sections 4.2 and 6.1).
+
+The paper keeps the LUT constraint linear (LUT variation is minimal) and the
+BRAM constraint nonlinear (cache sets x set size).  This benchmark checks
+that choice on our measurements: the nonlinear BRAM prediction is at least
+as accurate as the linear one for the recommended configurations, while for
+LUTs the two approximations are essentially indistinguishable.
+"""
+
+from conftest import emit
+
+from repro.analysis import approximation_ablation
+
+
+def test_approximation_ablation(benchmark, figure5):
+    results = figure5.data["results"]
+
+    def run_all():
+        return {name: approximation_ablation(result) for name, result in results.items()}
+
+    ablations = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for name, ablation in ablations.items():
+        emit(ablation)
+        errors = ablation.data["errors"]
+        assert abs(errors["bram_error_nonlinear"]) <= abs(errors["bram_error_linear"]) + 1e-9, name
+        assert abs(errors["lut_error_linear"] - errors["lut_error_nonlinear"]) < 1.0, name
+        # the independence assumption keeps runtime prediction within a few percent
+        assert abs(errors["runtime_percent_error"]) < 5.0, name

@@ -1,0 +1,20 @@
+"""Scalability ablation: the campaign is linear in parameter values (Section 3).
+
+The paper's feasibility argument is that measuring one perturbation at a
+time needs ~52 builds instead of ~3.6 billion.  This benchmark times a full
+campaign on a fresh platform and checks the effort accounting.
+"""
+
+from conftest import emit
+
+from repro.analysis import scalability_study
+from repro.platform import LiquidPlatform
+
+
+def test_scalability_of_the_campaign(benchmark, workloads):
+    result = benchmark.pedantic(
+        scalability_study, args=(LiquidPlatform(), workloads["frag"]),
+        rounds=1, iterations=1)
+    emit(result)
+    assert result.data["builds"] == result.data["variables"] + 1   # base + one per variable
+    assert result.data["exhaustive"] / result.data["builds"] > 10**6

@@ -1,0 +1,14 @@
+"""Figure 1: the LEON reconfigurable parameter space and design-space sizes."""
+
+from conftest import emit
+
+from repro.analysis import parameter_space_summary
+
+
+def test_fig1_parameter_space(benchmark):
+    result = benchmark.pedantic(parameter_space_summary, rounds=1, iterations=1)
+    emit(result)
+    # the paper's feasibility argument: billions of exhaustive configurations
+    # versus ~50 one-factor perturbations
+    assert result.data["exhaustive"] > 10**8
+    assert result.data["perturbations"] < 60

@@ -1,0 +1,27 @@
+"""Figure 2: exhaustive dcache {sets x set size} sweep for BLASTN.
+
+Reproduces the shape of the paper's Figure 2: runtime improves as the data
+cache grows, the best runtime is reached by the 32 KB-total organisations,
+and the BRAM utilisation spans roughly 47%..90% of the device.
+"""
+
+from conftest import emit
+
+from repro.analysis import dcache_exhaustive
+
+
+def test_fig2_blastn_dcache_exhaustive(benchmark, platform, workloads):
+    result = benchmark.pedantic(
+        dcache_exhaustive, args=(platform, workloads["blastn"]), rounds=1, iterations=1)
+    emit(result)
+    rows = result.data["rows"]
+    best = result.data["best"]
+    base_row = next(r for r in rows if r["sets"] == 1 and r["setsize_kb"] == 4)
+    # the optimal-runtime configuration uses 32 KB of data cache in total
+    assert best["sets"] * best["setsize_kb"] == 32
+    # and improves on the base configuration by a few percent (paper: 3.63%)
+    gain = 100.0 * (base_row["cycles"] - best["cycles"]) / base_row["cycles"]
+    assert 1.0 < gain < 15.0
+    # BRAM spans the paper's range
+    assert min(r["bram_percent"] for r in rows) < 50
+    assert max(r["bram_percent"] for r in rows) > 85

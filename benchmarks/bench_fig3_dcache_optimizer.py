@@ -1,0 +1,26 @@
+"""Figure 3: the optimizer's view of the BLASTN dcache sub-space (w1=100, w2=0).
+
+The optimizer only measures the one-factor configurations (3 set-count
+perturbations + 5 set-size perturbations) yet selects a configuration whose
+runtime matches the exhaustive optimum of Figure 2 -- possibly organised
+slightly differently (the paper found 1x32 KB vs the exhaustive 2x16 KB).
+"""
+
+from conftest import emit
+
+from repro.analysis import dcache_exhaustive, dcache_optimizer
+
+
+def test_fig3_blastn_dcache_optimizer(benchmark, platform, workloads):
+    result = benchmark.pedantic(
+        dcache_optimizer, args=(platform, workloads["blastn"]), rounds=1, iterations=1)
+    emit(result)
+    exhaustive = dcache_exhaustive(platform, workloads["blastn"])
+    # linear number of evaluated configurations (8) vs 19+ for the exhaustive sweep
+    assert result.data["configurations_evaluated"] == 8
+    assert exhaustive.data["configurations_evaluated"] >= 19
+    # near-optimal runtime: within 1% of the exhaustive best, relative to base
+    gap = (result.data["selected_cycles"] - exhaustive.data["best"]["cycles"])
+    assert 100.0 * gap / result.data["base_cycles"] <= 1.0
+    # the selected configuration also totals 32 KB of data cache
+    assert result.data["selected_sets"] * result.data["selected_setsize_kb"] == 32

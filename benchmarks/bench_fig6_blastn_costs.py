@@ -1,0 +1,23 @@
+"""Figure 6: one-factor measured costs of the perturbations selected for BLASTN."""
+
+from conftest import emit
+
+from repro.analysis import perturbation_costs
+
+
+def test_fig6_blastn_perturbation_costs(benchmark, figure5):
+    blastn_result = figure5.data["results"]["blastn"]
+    result = benchmark.pedantic(
+        perturbation_costs, args=(blastn_result,), rounds=1, iterations=1)
+    emit(result)
+    rows = result.data["rows"]
+    base_cycles = result.data["base_cycles"]
+    assert rows, "runtime optimisation must have reconfigured something for BLASTN"
+    # every selected perturbation is individually no slower than the base by
+    # more than the resource-trade margin, and at least one is clearly faster
+    assert any(row["cycles"] < base_cycles for row in rows)
+    for row in rows:
+        assert row["cycles"] <= base_cycles * 1.02
+    # each row reports the chip costs the campaign measured for it
+    assert all(30 < row["lut_percent"] < 50 for row in rows)
+    assert all(40 < row["bram_percent"] < 100 for row in rows)

@@ -1,0 +1,35 @@
+"""Figure 7: full-space chip-resource optimisation (w1=1, w2=100).
+
+Reproduces the trade-off direction of the paper's Figure 7: every benchmark
+gives up runtime in exchange for LUT and BRAM savings, the caches shrink,
+the optional pipeline features are disabled and the arithmetic units are
+downgraded.  (Our simulator trades more aggressively than the paper's
+platform -- see EXPERIMENTS.md for the documented divergence.)
+"""
+
+from conftest import emit
+
+from repro.analysis import resource_optimization
+
+
+def test_fig7_resource_optimization(benchmark, platform, workloads, figure5):
+    result = benchmark.pedantic(
+        resource_optimization, args=(platform, workloads),
+        kwargs={"models": figure5.data["models"]}, rounds=1, iterations=1)
+    emit(result)
+    gains = result.data["gains"]
+    for name, values in gains.items():
+        assert values["lut_delta"] < 0, name          # LUTs saved
+        assert values["bram_delta"] < 0, name         # BRAM saved
+        assert values["actual_gain_percent"] < 0, name  # runtime got worse
+    results = result.data["results"]
+    for name, tuning in results.items():
+        config = tuning.configuration
+        assert config.dcache_setsize_kb <= 4
+        assert config.icache_setsize_kb <= 4
+        assert config.fast_jump is False or name == "arith"
+    # Arith keeps its hardware divider (it divides every iteration), the
+    # division-free benchmarks drop theirs -- the application-specific shape
+    # of the paper's Figure 7.
+    assert results["arith"].configuration.divider == "radix2"
+    assert results["frag"].configuration.divider == "none"

@@ -1,0 +1,20 @@
+"""Headline claims of the paper lined up against the reproduction."""
+
+from conftest import emit
+
+from repro.analysis import (
+    dcache_study,
+    headline_comparison,
+    resource_optimization,
+)
+
+
+def test_headline_claims(benchmark, platform, workloads, figure5):
+    figure7 = resource_optimization(platform, workloads, models=figure5.data["models"])
+    dcache = dcache_study(platform, workloads)
+    result = benchmark.pedantic(
+        headline_comparison, args=(figure5, figure7, dcache), rounds=1, iterations=1)
+    emit(result)
+    checks = result.data["checks"]
+    assert len(checks) == 5
+    assert result.data["all_hold"], [c.claim for c in checks if not c.holds]

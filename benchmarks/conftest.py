@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks reproduce the paper's tables and figures at benchmark scale
+(the ``standard_workloads`` sizes).  The platform and the expensive
+campaign results are session scoped so that each figure pays only for the
+work it adds on top of the previous ones, exactly like the real
+measurement flow where bitstreams and profiles are cached.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import runtime_optimization
+from repro.platform import LiquidPlatform
+from repro.workloads import standard_workloads
+
+
+@pytest.fixture(scope="session")
+def platform():
+    return LiquidPlatform()
+
+
+@pytest.fixture(scope="session")
+def workloads():
+    return standard_workloads()
+
+
+@pytest.fixture(scope="session")
+def figure5(platform, workloads):
+    """The runtime-optimisation study, reused by Figures 5/6/7 and the ablations."""
+    return runtime_optimization(platform, workloads)
+
+
+def emit(result) -> None:
+    """Print an experiment's tables (visible with ``pytest -s`` or on failure)."""
+    print()
+    print(result.render())

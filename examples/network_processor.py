@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Scenario: one soft core, two network workloads -- the tuning is application specific.
+
+A network line card might run DRR fair scheduling on one port and IP
+fragmentation (FRAG) on another.  The paper's central claim is that the
+recommended microarchitecture differs per application; this example tunes
+the same LEON-like core for both CommBench kernels and diffs the results.
+
+Run with::
+
+    python examples/network_processor.py
+"""
+
+from __future__ import annotations
+
+from repro import LiquidPlatform, MicroarchTuner, RUNTIME_OPTIMIZATION
+from repro.workloads import DrrWorkload, FragWorkload
+
+
+def describe(result) -> None:
+    print(result.summary())
+    assert result.actual is not None
+    print(f"  measured runtime gain : {result.actual_runtime_gain_percent():.2f}%")
+    print(f"  chip resources        : {result.actual.lut_percent:.1f}% LUTs, "
+          f"{result.actual.bram_percent:.1f}% BRAM")
+    print(f"  solver                : {result.solution.describe()}\n")
+
+
+def main() -> None:
+    platform = LiquidPlatform()
+    tuner = MicroarchTuner(platform)
+
+    drr = DrrWorkload(packet_count=1500)
+    frag = FragWorkload(packet_count=24)
+    for workload in (drr, frag):
+        workload.verify()
+
+    print("=== DRR: deficit round robin scheduling (flow-table bound) ===")
+    drr_result = tuner.tune(drr, RUNTIME_OPTIMIZATION)
+    describe(drr_result)
+
+    print("=== FRAG: IP fragmentation (streaming copies and checksums) ===")
+    frag_result = tuner.tune(frag, RUNTIME_OPTIMIZATION)
+    describe(frag_result)
+
+    # --- the application-specific part -------------------------------------------------
+    drr_config = drr_result.configuration
+    frag_config = frag_result.configuration
+    differences = drr_config.diff(frag_config)
+    print("=== The recommendations differ (application-specific customisation) ===")
+    if not differences:
+        print("  (identical configurations -- unusual, try larger workloads)")
+    for parameter, (frag_value, drr_value) in sorted(differences.items()):
+        print(f"  {parameter:24s} FRAG -> {frag_value!r:12} DRR -> {drr_value!r}")
+
+    total_builds = platform.effort()["builds"]
+    print(f"\nTotal processor builds for both campaigns: {total_builds} "
+          "(the exhaustive alternative is hundreds of millions)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Scenario: squeezing the soft core next to other logic on the FPGA.
+
+Embedded designs rarely give the processor the whole device: accelerators,
+MACs and buffers need LUTs and block RAM too.  This example uses the
+resource-optimisation weights of the paper's Section 6.2 and then sweeps
+the weight ratio to expose the runtime/resource trade-off curve for one
+application, so a designer can pick the point that fits their floorplan.
+
+Run with::
+
+    python examples/resource_constrained_deployment.py
+"""
+
+from __future__ import annotations
+
+from repro import LiquidPlatform, MicroarchTuner, RESOURCE_OPTIMIZATION, Weights
+from repro.analysis import Table
+from repro.workloads import DrrWorkload
+
+
+def main() -> None:
+    platform = LiquidPlatform()
+    tuner = MicroarchTuner(platform)
+    workload = DrrWorkload(packet_count=1200)
+
+    # --- the paper's Figure 7 setting -------------------------------------------------
+    result = tuner.tune(workload, RESOURCE_OPTIMIZATION)
+    print("Chip-resource optimisation (w1=1, w2=100):")
+    print(result.summary())
+    delta = result.actual_resource_delta()
+    print(f"  resources saved : {-delta['lut']:.2f} LUT points, "
+          f"{-delta['bram']:.2f} BRAM points")
+    print(f"  runtime penalty : {-result.actual_runtime_gain_percent():.2f}%\n")
+
+    # --- sweep the weight ratio to draw the trade-off curve ------------------------------
+    model = result.model  # reuse the campaign: no extra builds are needed
+    table = Table("Runtime/resource trade-off for DRR",
+                  ["w1 (runtime)", "w2 (resources)", "runtime_change_%",
+                   "lut_%", "bram_%", "changed_parameters"])
+    for w1, w2 in ((100, 0), (100, 1), (10, 10), (1, 100), (0.5, 100)):
+        weights = Weights(runtime=w1, resources=w2, label=f"{w1}:{w2}")
+        point = tuner.tune(workload, weights, model=model)
+        assert point.actual is not None
+        table.add_row([
+            w1, w2,
+            100.0 * (point.actual.cycles - point.base.cycles) / point.base.cycles,
+            point.actual.lut_percent,
+            point.actual.bram_percent,
+            len(point.changed_parameters()),
+        ])
+    print(table.render())
+    print(f"\nDistinct processor builds used overall: {platform.effort()['builds']}")
+
+
+if __name__ == "__main__":
+    main()

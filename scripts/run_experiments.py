@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Run every paper experiment at benchmark scale and print the tables.
+
+This is the non-pytest entry point used to regenerate the numbers quoted
+in EXPERIMENTS.md; the pytest-benchmark harness in ``benchmarks/`` wraps
+the same drivers.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.platform import LiquidPlatform
+from repro.workloads import standard_workloads
+from repro.analysis import (
+    approximation_ablation,
+    dcache_exhaustive,
+    dcache_study,
+    headline_comparison,
+    parameter_space_summary,
+    perturbation_costs,
+    resource_optimization,
+    runtime_optimization,
+    scalability_study,
+    solver_ablation,
+)
+
+
+def main() -> None:
+    start = time.time()
+    platform = LiquidPlatform()
+    workloads = standard_workloads()
+
+    def show(result, label):
+        print(f"\n{'#' * 80}\n# {label}  (t={time.time() - start:.0f}s)\n{'#' * 80}")
+        print(result.render())
+
+    show(parameter_space_summary(), "Figure 1: parameter space")
+    show(dcache_exhaustive(platform, workloads["blastn"]), "Figure 2: BLASTN dcache exhaustive")
+    fig4 = dcache_study(platform, workloads)
+    show(fig4, "Figures 3/4: dcache exhaustive vs optimizer")
+    fig5 = runtime_optimization(platform, workloads)
+    show(fig5, "Figure 5: application runtime optimization (w1=100, w2=1)")
+    show(perturbation_costs(fig5.data["results"]["blastn"]),
+         "Figure 6: BLASTN perturbation costs")
+    fig7 = resource_optimization(platform, workloads, models=fig5.data["models"])
+    show(fig7, "Figure 7: chip resource optimization (w1=1, w2=100)")
+    show(headline_comparison(fig5, fig7, fig4), "Headline claims")
+    show(scalability_study(LiquidPlatform(), workloads["frag"]), "Scalability study")
+    show(approximation_ablation(fig5.data["results"]["drr"]), "Approximation ablation (DRR)")
+    show(solver_ablation(fig5.data["models"]["blastn"]), "Solver ablation (BLASTN)")
+    print(f"\nTotal wall clock: {time.time() - start:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

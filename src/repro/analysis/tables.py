@@ -1,0 +1,68 @@
+"""Plain-text tables for experiment reports.
+
+The benchmark harness prints the same rows the paper's figures report;
+this module provides a small, dependency-free table formatter so those
+rows are readable both on the terminal and in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["Table"]
+
+
+def _format(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled table with named columns."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[List[str]] = field(default_factory=list)
+
+    def add_row(self, values: Iterable[Any]) -> None:
+        row = [_format(v) for v in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} values for {len(self.columns)} columns in {self.title!r}")
+        self.rows.append(row)
+
+    def add_mapping(self, mapping: Mapping[str, Any]) -> None:
+        """Add a row from a mapping keyed by column name (missing keys become '-')."""
+        self.add_row([mapping.get(column, "-") for column in self.columns])
+
+    # -- rendering ---------------------------------------------------------------------
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        header = " | ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        rule = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * len(self.title), header, rule]
+        for row in self.rows:
+            lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        header = "| " + " | ".join(self.columns) + " |"
+        rule = "| " + " | ".join("---" for _ in self.columns) + " |"
+        lines = [f"**{self.title}**", "", header, rule]
+        for row in self.rows:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+    def as_dicts(self) -> List[Dict[str, str]]:
+        """Rows as dictionaries keyed by column name (useful in tests)."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

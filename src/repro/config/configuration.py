@@ -1,0 +1,133 @@
+"""Immutable microarchitecture configurations.
+
+A :class:`Configuration` is a full assignment of every parameter in a
+:class:`~repro.config.parameters.ParameterSpace`.  Configurations are
+hashable and therefore usable as memoisation keys by the measurement
+platform (the real Liquid Architecture platform caches bitstreams the same
+way).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Mapping, Tuple
+
+from repro.config.parameters import ParameterSpace
+from repro.config.leon_space import leon_parameter_space
+from repro.errors import ConfigurationError
+
+__all__ = ["Configuration", "base_configuration"]
+
+
+class Configuration(Mapping[str, Any]):
+    """A complete, validated assignment of a parameter space.
+
+    The object behaves like a read-only mapping from parameter name to
+    value and additionally exposes attribute-style access
+    (``cfg.dcache_setsize_kb``) for readability in the simulator and
+    synthesis model.
+    """
+
+    __slots__ = ("_space", "_values", "_key")
+
+    def __init__(self, space: ParameterSpace, values: Mapping[str, Any]):
+        assignment: Dict[str, Any] = {}
+        unknown = [name for name in values if name not in space]
+        if unknown:
+            raise ConfigurationError(f"unknown parameters: {sorted(unknown)}")
+        for param in space:
+            if param.name not in values:
+                raise ConfigurationError(f"missing value for parameter {param.name!r}")
+            assignment[param.name] = param.validate(values[param.name])
+        self._space = space
+        self._values = assignment
+        self._key: Tuple[Tuple[str, Any], ...] = tuple(sorted(assignment.items()))
+
+    # -- mapping protocol ---------------------------------------------------------
+
+    def __getitem__(self, name: str) -> Any:
+        try:
+            return self._values[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown parameter {name!r}") from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __getattr__(self, name: str) -> Any:
+        # __getattr__ is only called when normal lookup fails, so the
+        # slots above are unaffected.
+        values = object.__getattribute__(self, "_values")
+        if name in values:
+            return values[name]
+        raise AttributeError(name)
+
+    # -- identity -----------------------------------------------------------------
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return self._key == other._key
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        diffs = self.diff(Configuration(self._space, self._space.defaults()))
+        if not diffs:
+            return "Configuration(<base>)"
+        inner = ", ".join(f"{k}={v!r}" for k, (_, v) in sorted(diffs.items()))
+        return f"Configuration({inner})"
+
+    # -- accessors ------------------------------------------------------------------
+
+    @property
+    def space(self) -> ParameterSpace:
+        """The parameter space this configuration belongs to."""
+        return self._space
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A plain mutable copy of the assignment."""
+        return dict(self._values)
+
+    def key(self) -> Tuple[Tuple[str, Any], ...]:
+        """A canonical hashable key (used for memoisation and sorting)."""
+        return self._key
+
+    # -- derived configurations ---------------------------------------------------------
+
+    def replace(self, **changes: Any) -> "Configuration":
+        """A new configuration with the given parameters changed."""
+        values = dict(self._values)
+        values.update(changes)
+        return Configuration(self._space, values)
+
+    def diff(self, other: "Configuration") -> Dict[str, Tuple[Any, Any]]:
+        """Parameters on which ``self`` and ``other`` differ.
+
+        Returns a mapping ``name -> (other_value, self_value)``; the
+        ordering matches the reporting convention of the paper's Figures 5
+        and 7 ("Base" column first, application column second).
+        """
+        if other._space is not self._space and other._space.names != self._space.names:
+            raise ConfigurationError("cannot diff configurations from different spaces")
+        out: Dict[str, Tuple[Any, Any]] = {}
+        for name, value in self._values.items():
+            if other._values[name] != value:
+                out[name] = (other._values[name], value)
+        return out
+
+    def is_base(self) -> bool:
+        """True when every parameter is at its default value."""
+        return all(self._values[p.name] == p.default for p in self._space)
+
+
+def base_configuration(space: ParameterSpace | None = None) -> Configuration:
+    """The out-of-the-box LEON configuration the paper calls the *base*.
+
+    When ``space`` is omitted, the full LEON space of Figure 1 is used.
+    """
+    space = space if space is not None else leon_parameter_space()
+    return Configuration(space, space.defaults())

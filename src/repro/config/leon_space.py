@@ -1,0 +1,145 @@
+"""The LEON2 reconfigurable parameter space of the paper's Figure 1.
+
+The paper customises the LEON2 soft core along the parameters below.  The
+64 KB set size is excluded because it exceeds the BRAM available on the
+Virtex XCV2000E by 33 % (paper, Section 2.2); the FPU, MMU and peripheral
+options are excluded for the reasons given there as well.
+
+Symbolic value constants are exported so that the rest of the library (the
+timing model, the synthesis model, the workloads) never spells replacement
+policies or multiplier implementations as raw strings.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.config.parameters import Parameter, ParameterSpace, Subsystem
+
+__all__ = [
+    "Replacement",
+    "Multiplier",
+    "Divider",
+    "leon_parameter_space",
+    "CACHE_SET_COUNTS",
+    "CACHE_SET_SIZES_KB",
+    "CACHE_LINE_SIZES_WORDS",
+    "REGISTER_WINDOW_COUNTS",
+]
+
+
+class Replacement:
+    """Cache replacement policies supported by LEON2."""
+
+    RANDOM = "random"
+    LRR = "lrr"  # least recently replaced (FIFO-like), 2-way only
+    LRU = "lru"  # least recently used, any multi-way associativity
+
+    ALL: Tuple[str, ...] = (RANDOM, LRR, LRU)
+
+
+class Multiplier:
+    """Hardware multiplier implementations selectable in LEON2."""
+
+    NONE = "none"                 # no hardware multiplier; MUL is emulated
+    ITERATIVE = "iterative"       # bit-serial iterative multiplier
+    M16X16 = "m16x16"             # 16x16 multiplier, 4-cycle 32x32 (default)
+    M16X16_PIPE = "m16x16_pipe"   # 16x16 with pipeline registers
+    M32X8 = "m32x8"               # 32x8, 4-cycle
+    M32X16 = "m32x16"             # 32x16, 2-cycle
+    M32X32 = "m32x32"             # full single-cycle 32x32
+
+    ALL: Tuple[str, ...] = (NONE, ITERATIVE, M16X16, M16X16_PIPE, M32X8, M32X16, M32X32)
+
+
+class Divider:
+    """Hardware divider implementations selectable in LEON2."""
+
+    RADIX2 = "radix2"   # radix-2 iterative divider (default)
+    NONE = "none"       # no hardware divider; DIV is emulated
+
+    ALL: Tuple[str, ...] = (RADIX2, NONE)
+
+
+#: Cache associativities (number of sets in LEON terminology).
+CACHE_SET_COUNTS: Tuple[int, ...] = (1, 2, 3, 4)
+
+#: Per-set cache sizes in kilobytes.  64 KB is excluded (needs 213 BRAM,
+#: 33 % more than the XCV2000E provides -- paper Section 2.2).
+CACHE_SET_SIZES_KB: Tuple[int, ...] = (1, 2, 4, 8, 16, 32)
+
+#: Cache line sizes in 32-bit words.
+CACHE_LINE_SIZES_WORDS: Tuple[int, ...] = (4, 8)
+
+#: Register window counts: the default of 8, or any value in 16..32.
+REGISTER_WINDOW_COUNTS: Tuple[int, ...] = (8,) + tuple(range(16, 33))
+
+
+def leon_parameter_space() -> ParameterSpace:
+    """Build the LEON parameter space of the paper's Figure 1.
+
+    Returns a fresh :class:`~repro.config.parameters.ParameterSpace`; the
+    defaults of every parameter together form the *base configuration*
+    that the measurement campaign perturbs one value at a time.
+    """
+    params = (
+        # --- instruction cache ---------------------------------------------------
+        Parameter(
+            "icache_sets", CACHE_SET_COUNTS, 1, Subsystem.ICACHE,
+            "Number of instruction-cache sets (associativity)"),
+        Parameter(
+            "icache_setsize_kb", CACHE_SET_SIZES_KB, 4, Subsystem.ICACHE,
+            "Size of each instruction-cache set in KB"),
+        Parameter(
+            "icache_linesize_words", CACHE_LINE_SIZES_WORDS, 8, Subsystem.ICACHE,
+            "Instruction-cache line size in 32-bit words"),
+        Parameter(
+            "icache_replacement", Replacement.ALL, Replacement.RANDOM, Subsystem.ICACHE,
+            "Instruction-cache replacement policy"),
+        # --- data cache ------------------------------------------------------------
+        Parameter(
+            "dcache_sets", CACHE_SET_COUNTS, 1, Subsystem.DCACHE,
+            "Number of data-cache sets (associativity)"),
+        Parameter(
+            "dcache_setsize_kb", CACHE_SET_SIZES_KB, 4, Subsystem.DCACHE,
+            "Size of each data-cache set in KB"),
+        Parameter(
+            "dcache_linesize_words", CACHE_LINE_SIZES_WORDS, 8, Subsystem.DCACHE,
+            "Data-cache line size in 32-bit words"),
+        Parameter(
+            "dcache_replacement", Replacement.ALL, Replacement.RANDOM, Subsystem.DCACHE,
+            "Data-cache replacement policy"),
+        Parameter(
+            "dcache_fast_read", (False, True), False, Subsystem.DCACHE,
+            "Data-cache fast read (single-cycle load hit) option"),
+        Parameter(
+            "dcache_fast_write", (False, True), False, Subsystem.DCACHE,
+            "Data-cache fast write (write buffer) option"),
+        # --- integer unit ------------------------------------------------------------
+        Parameter(
+            "fast_jump", (True, False), True, Subsystem.INTEGER_UNIT,
+            "Fast jump-address generation (reduces taken-branch penalty)"),
+        Parameter(
+            "icc_hold", (True, False), True, Subsystem.INTEGER_UNIT,
+            "Hold pipeline for integer-condition-code dependencies"),
+        Parameter(
+            "fast_decode", (True, False), True, Subsystem.INTEGER_UNIT,
+            "Fast instruction decode"),
+        Parameter(
+            "load_delay", (1, 2), 1, Subsystem.INTEGER_UNIT,
+            "Load-use delay in clock cycles"),
+        Parameter(
+            "register_windows", REGISTER_WINDOW_COUNTS, 8, Subsystem.INTEGER_UNIT,
+            "Number of SPARC register windows"),
+        Parameter(
+            "divider", Divider.ALL, Divider.RADIX2, Subsystem.INTEGER_UNIT,
+            "Hardware divider implementation"),
+        Parameter(
+            "multiplier", Multiplier.ALL, Multiplier.M16X16, Subsystem.INTEGER_UNIT,
+            "Hardware multiplier implementation"),
+        # --- synthesis options ----------------------------------------------------------
+        Parameter(
+            "infer_mult_div", (True, False), True, Subsystem.SYNTHESIS,
+            "Let the synthesis tool infer multiplier/divider structures"),
+    )
+    return ParameterSpace(params)

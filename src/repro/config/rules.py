@@ -1,0 +1,119 @@
+"""LEON configuration validity rules.
+
+Beyond per-parameter domains, LEON imposes coupling rules between
+parameters (paper, Section 4.1 "Parameter Validity Constraints"):
+
+* the LRR (least-recently-replaced) policy is only available with 2-way
+  associative caches (exactly 2 sets);
+* the LRU policy is only available with multi-way caches (2 or more sets);
+* the random policy is available with any associativity.
+
+Feasibility with respect to the FPGA resource envelope is *not* checked
+here -- that is the job of the synthesis model and the optimizer's
+resource constraints -- but a convenience hook is provided so the platform
+can reject configurations that cannot even be built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.config.configuration import Configuration
+from repro.config.leon_space import Replacement
+from repro.errors import ConfigurationError
+
+__all__ = ["RuleViolation", "ValidityRule", "leon_rules", "check_rules", "require_valid"]
+
+
+@dataclass(frozen=True)
+class RuleViolation:
+    """One violated validity rule, with a human-readable explanation."""
+
+    rule: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.rule}: {self.message}"
+
+
+@dataclass(frozen=True)
+class ValidityRule:
+    """A named predicate over configurations.
+
+    ``check`` returns ``None`` when the configuration satisfies the rule,
+    or an explanatory message when it does not.
+    """
+
+    name: str
+    check: Callable[[Configuration], str | None]
+
+    def violations(self, config: Configuration) -> List[RuleViolation]:
+        message = self.check(config)
+        if message is None:
+            return []
+        return [RuleViolation(self.name, message)]
+
+
+def _replacement_rule(prefix: str) -> Callable[[Configuration], str | None]:
+    """Build the LRR/LRU coupling check for the cache named by ``prefix``."""
+
+    def check(config: Configuration) -> str | None:
+        sets = config[f"{prefix}_sets"]
+        policy = config[f"{prefix}_replacement"]
+        if policy == Replacement.LRR and sets != 2:
+            return (
+                f"{prefix} uses LRR replacement which requires exactly 2 sets, "
+                f"but {sets} set(s) are configured"
+            )
+        if policy == Replacement.LRU and sets < 2:
+            return (
+                f"{prefix} uses LRU replacement which requires a multi-way cache, "
+                f"but {sets} set(s) are configured"
+            )
+        return None
+
+    return check
+
+
+def _multiplier_inference_rule(config: Configuration) -> str | None:
+    """``infer_mult_div=False`` is meaningless without any hardware mult/div.
+
+    LEON's synthesis option only matters when a hardware multiplier or
+    divider is instantiated; the rule documents this rather than changing
+    behaviour (it never fires for perturbations of the base configuration,
+    which has both units).
+    """
+    if not config.infer_mult_div and config.multiplier == "none" and config.divider == "none":
+        return "infer_mult_div=False has no effect when neither multiplier nor divider exists"
+    return None
+
+
+def leon_rules() -> Sequence[ValidityRule]:
+    """The LEON coupling rules checked by :func:`check_rules`."""
+    return (
+        ValidityRule("icache_replacement_associativity", _replacement_rule("icache")),
+        ValidityRule("dcache_replacement_associativity", _replacement_rule("dcache")),
+        ValidityRule("multiplier_inference", _multiplier_inference_rule),
+    )
+
+
+def check_rules(
+    config: Configuration, rules: Sequence[ValidityRule] | None = None
+) -> List[RuleViolation]:
+    """Return every rule violation of ``config`` (empty list when valid)."""
+    violations: List[RuleViolation] = []
+    for rule in rules if rules is not None else leon_rules():
+        violations.extend(rule.violations(config))
+    return violations
+
+
+def require_valid(
+    config: Configuration, rules: Sequence[ValidityRule] | None = None
+) -> Configuration:
+    """Return ``config`` unchanged, raising :class:`ConfigurationError` if invalid."""
+    violations = check_rules(config, rules)
+    if violations:
+        detail = "; ".join(str(v) for v in violations)
+        raise ConfigurationError(f"invalid configuration: {detail}")
+    return config

@@ -1,0 +1,73 @@
+"""Cost approximations performed by the optimizer.
+
+The optimizer never measures the combined configuration it recommends
+before recommending it; it *predicts* the configuration's cost from the
+one-factor deltas under the parameter-independence assumption.  The paper
+reports these predictions next to the actually synthesised/measured
+values in Figures 5 and 7 (rows "Cost approximations by the optimizer"
+vs. "Actual synthesis"), including both the linear and the nonlinear
+variants of the LUT and BRAM approximations.
+
+:func:`predict_costs` computes all of those numbers for a selection;
+:func:`prediction_errors` compares them with an actual measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.config.perturbation import Selection
+from repro.core.model import CostModel
+from repro.platform.measurement import Measurement
+
+__all__ = ["PredictedCosts", "predict_costs", "prediction_errors"]
+
+
+@dataclass(frozen=True)
+class PredictedCosts:
+    """Optimizer-side cost predictions for one selection."""
+
+    runtime_percent: float          # predicted runtime change (rho sum)
+    runtime_cycles: float           # predicted absolute runtime
+    lut_percent_linear: float       # linear LUT approximation (paper default)
+    lut_percent_nonlinear: float    # nonlinear LUT approximation (reported for comparison)
+    bram_percent_linear: float      # linear BRAM approximation (reported for comparison)
+    bram_percent_nonlinear: float   # nonlinear BRAM approximation (paper default)
+
+    @property
+    def runtime_seconds(self) -> float:
+        """Predicted runtime in seconds at the default platform clock."""
+        from repro.microarch.statistics import cycles_to_seconds
+
+        return cycles_to_seconds(int(round(self.runtime_cycles)))
+
+
+def predict_costs(model: CostModel, selection: Selection) -> PredictedCosts:
+    """All optimizer-side predictions for ``selection`` on ``model``."""
+    return PredictedCosts(
+        runtime_percent=model.predict_runtime_percent(selection),
+        runtime_cycles=model.predict_runtime_cycles(selection),
+        lut_percent_linear=model.predict_lut_percent(selection, nonlinear=False),
+        lut_percent_nonlinear=model.predict_lut_percent(selection, nonlinear=True),
+        bram_percent_linear=model.predict_bram_percent(selection, nonlinear=False),
+        bram_percent_nonlinear=model.predict_bram_percent(selection, nonlinear=True),
+    )
+
+
+def prediction_errors(predicted: PredictedCosts, actual: Measurement,
+                      base: Measurement) -> Dict[str, float]:
+    """Signed prediction errors against the actually measured configuration.
+
+    Runtime error is expressed in percentage points of the base runtime
+    (the paper's "range of overestimation"); resource errors are in
+    percentage points of device utilisation.
+    """
+    actual_runtime_percent = 100.0 * (actual.cycles - base.cycles) / base.cycles
+    return {
+        "runtime_percent_error": predicted.runtime_percent - actual_runtime_percent,
+        "lut_error_linear": predicted.lut_percent_linear - actual.lut_percent,
+        "lut_error_nonlinear": predicted.lut_percent_nonlinear - actual.lut_percent,
+        "bram_error_linear": predicted.bram_percent_linear - actual.bram_percent,
+        "bram_error_nonlinear": predicted.bram_percent_nonlinear - actual.bram_percent,
+    }

@@ -1,0 +1,340 @@
+"""Solvers for the BINLP problem.
+
+The paper uses the commercial Tomlab /MINLP solver (a MATLAB plug-in);
+we provide our own solvers over the exact same formulation:
+
+* :class:`BranchAndBoundSolver` -- the primary solver.  It branches over
+  the at-most-one groups (and the free binary variables), uses a
+  separable lower bound (the best possible objective of the not-yet-fixed
+  variables, ignoring resource constraints) for pruning, seeds the search
+  with a greedy incumbent and checks the coupling/resource constraints at
+  every node.  On the paper's problem sizes it explores a few hundred to
+  a few thousand nodes.
+* :class:`ExhaustiveSolver` -- enumerates every combination; only usable
+  on scaled-down spaces (the dcache study) and used as the ground truth
+  in tests.
+* :class:`GreedyIndependentSolver` -- picks the best option per group
+  ignoring resources and then repairs feasibility by dropping the least
+  valuable picks; serves as the ablation baseline showing why the
+  constrained formulation matters.
+* :class:`RandomSearchSolver` -- samples random feasible selections.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import OptimizationError
+from repro.core.binlp import BinlpProblem
+
+__all__ = [
+    "Solution",
+    "BranchAndBoundSolver",
+    "ExhaustiveSolver",
+    "GreedyIndependentSolver",
+    "RandomSearchSolver",
+]
+
+
+@dataclass(frozen=True)
+class Solution:
+    """Result of one solver run."""
+
+    selection: Tuple[int, ...]
+    objective: float
+    feasible: bool
+    optimal: bool
+    nodes_explored: int = 0
+    solver: str = ""
+
+    def describe(self) -> str:
+        status = "optimal" if self.optimal else ("feasible" if self.feasible else "infeasible")
+        return (
+            f"{self.solver}: objective {self.objective:.3f}, {len(self.selection)} variables "
+            f"selected, {status}, {self.nodes_explored} nodes")
+
+
+def _decision_groups(problem: BinlpProblem) -> List[Tuple[int, ...]]:
+    """Groups plus singleton pseudo-groups for free binary variables."""
+    grouped = {i for group in problem.groups for i in group}
+    decisions: List[Tuple[int, ...]] = [tuple(group) for group in problem.groups]
+    for i in range(problem.variable_count):
+        if i not in grouped:
+            decisions.append((i,))
+    return decisions
+
+
+def _order_decisions(problem: BinlpProblem, decisions: List[Tuple[int, ...]]) -> List[Tuple[int, ...]]:
+    """Order decisions so constraint-coupled groups are fixed first.
+
+    Fixing the cache-structure groups early makes the bilinear resource
+    terms concrete as soon as possible, which lets infeasible branches be
+    pruned high in the tree.
+    """
+    coupled: set[int] = set()
+    for constraint in problem.resource_constraints:
+        for _, factor_a, factor_b in constraint.products:
+            coupled.update(factor_a)
+            coupled.update(factor_b)
+    for constraint in problem.linear_constraints:
+        coupled.update(constraint.coefficients)
+
+    def sort_key(group: Tuple[int, ...]) -> Tuple[int, float]:
+        touches = any(i in coupled for i in group)
+        best = min(problem.objective[i] for i in group)
+        return (0 if touches else 1, best)
+
+    return sorted(decisions, key=sort_key)
+
+
+class GreedyIndependentSolver:
+    """Pick the best option of every group independently, then repair feasibility."""
+
+    name = "greedy"
+
+    def solve(self, problem: BinlpProblem) -> Solution:
+        decisions = _decision_groups(problem)
+        picks: List[int] = []
+        for group in decisions:
+            best = min(group, key=lambda i: problem.objective[i])
+            if problem.objective[best] < 0:
+                picks.append(best)
+        picks.sort()
+        # repair: drop the least valuable picks until every constraint holds
+        nodes = 1
+        current = list(picks)
+        while current and problem.violations(current):
+            nodes += 1
+            # prefer dropping variables that participate in violated constraints
+            worst = max(current, key=lambda i: problem.objective[i])
+            candidates = []
+            chosen = set(current)
+            for constraint in list(problem.linear_constraints) + list(problem.resource_constraints):
+                if not constraint.satisfied(chosen):
+                    for i in current:
+                        candidates.append(i)
+                    break
+            drop = max(candidates or current, key=lambda i: problem.objective[i])
+            if drop == worst and problem.objective[drop] < 0 and candidates:
+                # dropping an improving variable: pick the one with the least benefit
+                drop = max(candidates, key=lambda i: problem.objective[i])
+            current.remove(drop)
+        feasible = problem.is_feasible(current)
+        return Solution(
+            selection=tuple(sorted(current)),
+            objective=problem.objective_value(current),
+            feasible=feasible,
+            optimal=False,
+            nodes_explored=nodes,
+            solver=self.name,
+        )
+
+
+class BranchAndBoundSolver:
+    """Depth-first branch and bound over the group structure."""
+
+    name = "branch-and-bound"
+
+    def __init__(self, node_limit: int = 500_000):
+        self.node_limit = node_limit
+
+    def solve(self, problem: BinlpProblem) -> Solution:
+        decisions = _order_decisions(problem, _decision_groups(problem))
+        n_decisions = len(decisions)
+
+        # The decisions are ordered so that every group touching a coupling or
+        # bilinear resource constraint comes first.  Once those are fixed, the
+        # remaining variables only interact through the two scalar resource
+        # budgets, so the unconstrained-optimal completion (take every
+        # improving option) is optimal for the subtree whenever it is
+        # feasible -- which it almost always is, because the non-cache deltas
+        # are tiny compared to the head-room.  This keeps the search exact
+        # while visiting only a few hundred nodes on the paper's problems.
+        coupled: set[int] = set()
+        for constraint in problem.resource_constraints:
+            for _, factor_a, factor_b in constraint.products:
+                coupled.update(factor_a)
+                coupled.update(factor_b)
+        for constraint in problem.linear_constraints:
+            coupled.update(constraint.coefficients)
+        n_coupled = sum(1 for group in decisions if any(i in coupled for i in group))
+
+        # optimistic objective obtainable from decisions[k:] (ignoring constraints)
+        suffix_bound = [0.0] * (n_decisions + 1)
+        for k in range(n_decisions - 1, -1, -1):
+            best = min(0.0, min(problem.objective[i] for i in decisions[k]))
+            suffix_bound[k] = suffix_bound[k + 1] + best
+
+        # largest possible *decrease* of each resource constraint achievable by
+        # decisions[k:] -- used to prune prefixes that can never become feasible.
+        # Beyond the coupled prefix only the linear terms of the constraints can
+        # change, so the computation is exact there.
+        resource_constraints = list(problem.resource_constraints)
+        suffix_reduction = {
+            c.name: [0.0] * (n_decisions + 1) for c in resource_constraints}
+        for constraint in resource_constraints:
+            column = suffix_reduction[constraint.name]
+            for k in range(n_decisions - 1, -1, -1):
+                best = min(
+                    0.0,
+                    min(constraint.linear.get(i, 0.0) for i in decisions[k]))
+                column[k] = column[k + 1] + best
+
+        def greedy_completion(k: int) -> Tuple[List[int], float]:
+            """Best possible (unconstrained) completion of decisions[k:]."""
+            picks: List[int] = []
+            objective = 0.0
+            for group in decisions[k:]:
+                best = min(group, key=lambda i: problem.objective[i])
+                if problem.objective[best] < 0:
+                    picks.append(best)
+                    objective += problem.objective[best]
+            return picks, objective
+
+        # incumbent from the greedy solver (only if feasible)
+        greedy = GreedyIndependentSolver().solve(problem)
+        best_objective = greedy.objective if greedy.feasible else 0.0
+        best_selection: Tuple[int, ...] = greedy.selection if greedy.feasible else ()
+        # the empty selection (keep the base configuration) is always feasible
+        if not problem.is_feasible(best_selection):
+            best_selection, best_objective = (), 0.0
+
+        nodes = 0
+        limit_hit = False
+
+        def dfs(k: int, chosen: List[int], objective: float) -> None:
+            nonlocal nodes, best_objective, best_selection, limit_hit
+            nodes += 1
+            if nodes > self.node_limit:
+                limit_hit = True
+                return
+            if objective + suffix_bound[k] >= best_objective - 1e-12:
+                return
+            if k == n_decisions:
+                if problem.is_feasible(chosen) and objective < best_objective - 1e-12:
+                    best_objective = objective
+                    best_selection = tuple(sorted(chosen))
+                return
+            if k >= n_coupled:
+                chosen_set = set(chosen)
+                # coupling rules involve only coupled variables, which are all
+                # decided by now: violations can never be repaired downstream.
+                for constraint in problem.linear_constraints:
+                    if not constraint.satisfied(chosen_set):
+                        return
+                # a prefix whose resource usage cannot be brought back under the
+                # budget by any remaining choice is a dead end.
+                for constraint in resource_constraints:
+                    if (constraint.value(chosen_set)
+                            + suffix_reduction[constraint.name][k]
+                            > constraint.bound + 1e-9):
+                        return
+                # all coupled decisions fixed: try the unconstrained-optimal completion
+                picks, completion_objective = greedy_completion(k)
+                candidate = chosen + picks
+                if problem.is_feasible(candidate):
+                    total = objective + completion_objective
+                    if total < best_objective - 1e-12:
+                        best_objective = total
+                        best_selection = tuple(sorted(candidate))
+                    return
+            group = decisions[k]
+            # explore the most promising options first: skip (0) and each member
+            options: List[Optional[int]] = [None] + list(group)
+            options.sort(key=lambda i: 0.0 if i is None else problem.objective[i])
+            for option in options:
+                if limit_hit:
+                    return
+                if option is None:
+                    dfs(k + 1, chosen, objective)
+                else:
+                    chosen.append(option)
+                    dfs(k + 1, chosen, objective + problem.objective[option])
+                    chosen.pop()
+
+        dfs(0, [], 0.0)
+        return Solution(
+            selection=best_selection,
+            objective=best_objective,
+            feasible=problem.is_feasible(best_selection),
+            optimal=not limit_hit,
+            nodes_explored=nodes,
+            solver=self.name,
+        )
+
+
+class ExhaustiveSolver:
+    """Enumerate every combination of the decision groups (small problems only)."""
+
+    name = "exhaustive"
+
+    def __init__(self, max_combinations: int = 2_000_000):
+        self.max_combinations = max_combinations
+
+    def solve(self, problem: BinlpProblem) -> Solution:
+        decisions = _decision_groups(problem)
+        total = 1
+        for group in decisions:
+            total *= len(group) + 1
+            if total > self.max_combinations:
+                raise OptimizationError(
+                    f"exhaustive enumeration would need {total}+ combinations "
+                    f"(limit {self.max_combinations}); use branch and bound instead")
+        best_selection: Tuple[int, ...] = ()
+        best_objective = 0.0
+        nodes = 0
+        option_lists = [[None] + list(group) for group in decisions]
+        for combo in itertools.product(*option_lists):
+            nodes += 1
+            selection = [i for i in combo if i is not None]
+            objective = sum(problem.objective[i] for i in selection)
+            if objective >= best_objective - 1e-12:
+                continue
+            if problem.is_feasible(selection):
+                best_objective = objective
+                best_selection = tuple(sorted(selection))
+        return Solution(
+            selection=best_selection,
+            objective=best_objective,
+            feasible=True,
+            optimal=True,
+            nodes_explored=nodes,
+            solver=self.name,
+        )
+
+
+class RandomSearchSolver:
+    """Uniform random sampling baseline used in the solver ablation."""
+
+    name = "random-search"
+
+    def __init__(self, samples: int = 2000, seed: int = 7):
+        self.samples = samples
+        self.seed = seed
+
+    def solve(self, problem: BinlpProblem) -> Solution:
+        rng = random.Random(self.seed)
+        decisions = _decision_groups(problem)
+        best_selection: Tuple[int, ...] = ()
+        best_objective = 0.0
+        for _ in range(self.samples):
+            selection: List[int] = []
+            for group in decisions:
+                choice = rng.randrange(len(group) + 1)
+                if choice:
+                    selection.append(group[choice - 1])
+            objective = sum(problem.objective[i] for i in selection)
+            if objective < best_objective - 1e-12 and problem.is_feasible(selection):
+                best_objective = objective
+                best_selection = tuple(sorted(selection))
+        return Solution(
+            selection=best_selection,
+            objective=best_objective,
+            feasible=True,
+            optimal=False,
+            nodes_explored=self.samples,
+            solver=self.name,
+        )

@@ -1,0 +1,56 @@
+"""Objective weights of the optimisation (the paper's w1 and w2).
+
+The paper's objective is ``minimise sum_i [w1 * rho_i * x_i +
+w2 * (lambda_i + beta_i) * x_i]``: ``w1`` weights application runtime,
+``w2`` weights the combined chip-resource cost.  Making one weight
+dominate the other selects the optimisation goal:
+
+* ``w1 = 100, w2 = 1``  -- application runtime optimisation (Section 6.1)
+* ``w1 = 1,   w2 = 100`` -- chip-resource optimisation (Section 6.2)
+* ``w1 = 100, w2 = 0``  -- pure runtime optimisation used in the dcache
+  study of Section 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Weights",
+    "RUNTIME_OPTIMIZATION",
+    "RESOURCE_OPTIMIZATION",
+    "RUNTIME_ONLY",
+]
+
+
+@dataclass(frozen=True)
+class Weights:
+    """Objective weights: ``runtime`` is the paper's w1, ``resources`` is w2."""
+
+    runtime: float
+    resources: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.runtime < 0 or self.resources < 0:
+            raise ValueError("weights must be non-negative")
+        if self.runtime == 0 and self.resources == 0:
+            raise ValueError("at least one weight must be positive")
+
+    def objective_coefficient(self, rho: float, lam: float, beta: float) -> float:
+        """The objective coefficient of one perturbation variable."""
+        return self.runtime * rho + self.resources * (lam + beta)
+
+    def describe(self) -> str:
+        name = self.label or "custom"
+        return f"{name} (w1={self.runtime:g}, w2={self.resources:g})"
+
+
+#: Optimise application runtime over chip resources (paper Section 6.1).
+RUNTIME_OPTIMIZATION = Weights(runtime=100.0, resources=1.0, label="runtime optimisation")
+
+#: Optimise chip resources over application runtime (paper Section 6.2).
+RESOURCE_OPTIMIZATION = Weights(runtime=1.0, resources=100.0, label="resource optimisation")
+
+#: Pure runtime optimisation used by the dcache study (paper Section 5).
+RUNTIME_ONLY = Weights(runtime=100.0, resources=0.0, label="runtime only")

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish configuration problems from simulation or
+optimisation problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid microarchitecture configuration was constructed or requested.
+
+    Raised for out-of-domain parameter values, violations of the LEON
+    coupling rules (e.g. LRR replacement with a direct-mapped cache) and
+    malformed perturbation selections.
+    """
+
+
+class ResourceError(ReproError):
+    """A configuration does not fit on the target FPGA device."""
+
+
+class AssemblyError(ReproError):
+    """A program could not be assembled (unknown label, bad operand, ...)."""
+
+
+class SimulationError(ReproError):
+    """The functional or timing simulator encountered an unrecoverable fault.
+
+    Examples: executing past the end of the program, unaligned memory
+    access, division by zero in the guest program, exceeding the
+    instruction budget.
+    """
+
+
+class VerificationError(ReproError):
+    """A workload produced results that do not match its reference output."""
+
+
+class OptimizationError(ReproError):
+    """The BINLP formulation or one of the solvers failed.
+
+    Raised when a problem is infeasible, when a solver is asked to solve a
+    problem shape it does not support, or when a solution fails
+    verification against the problem constraints.
+    """
+
+
+class MeasurementError(ReproError):
+    """The measurement platform failed to build or profile a configuration."""

@@ -1,0 +1,220 @@
+"""Analytic synthesis cost model for LEON-like processor configurations.
+
+The paper measures LUT and BRAM utilisation by actually synthesising each
+processor configuration from its VHDL sources, which takes about 30
+minutes per build.  We replace the synthesis tool with an analytic model
+that maps a :class:`~repro.config.Configuration` to LUT/BRAM counts on a
+target :class:`~repro.fpga.device.FpgaDevice`.
+
+Calibration
+-----------
+The model is calibrated against the figures reported in the paper:
+
+* the base configuration uses 14,992 LUTs (39 %) and 82 BRAMs (51 %) of
+  the XCV2000E (Section 2.4);
+* the dcache sweep of Figure 2 spans roughly 47 %–90 % BRAM, with BRAM
+  driven by ``number of sets x set size`` (data arrays) plus tag arrays;
+* single-parameter LUT deltas are small (a percent or two): removing the
+  divider saves about 2 %, the largest multiplier adds about 1 %
+  (Figure 6).
+
+The *structure* of the model mirrors real LEON synthesis results: cache
+data and tag arrays consume block RAM proportional to their capacity, the
+register file consumes block RAM proportional to the window count, and
+LUTs are the sum of per-subsystem contributions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.config.configuration import Configuration
+from repro.config.leon_space import Divider, Multiplier, Replacement
+from repro.fpga.device import BRAM_BYTES, FpgaDevice, XCV2000E
+from repro.fpga.report import ResourceReport
+
+__all__ = ["SynthesisModel", "CacheGeometry"]
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry of one cache (instruction or data)."""
+
+    sets: int
+    setsize_kb: int
+    linesize_words: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.sets * self.setsize_kb * 1024
+
+    @property
+    def linesize_bytes(self) -> int:
+        return self.linesize_words * 4
+
+    @property
+    def lines_per_set(self) -> int:
+        return (self.setsize_kb * 1024) // self.linesize_bytes
+
+    @property
+    def total_lines(self) -> int:
+        return self.sets * self.lines_per_set
+
+
+class SynthesisModel:
+    """Maps configurations to LUT/BRAM utilisation on an FPGA device."""
+
+    # -- BRAM calibration constants (block RAMs) ----------------------------------
+    #: Tag entry width in bytes (tag + valid/dirty bits padded to a word).
+    TAG_ENTRY_BYTES = 4
+    #: Block RAMs used by everything that is not a cache or the register
+    #: file: on-chip AHB RAM, boot PROM image, DSU trace buffer.  Chosen so
+    #: the base configuration lands at 82 BRAMs as reported in the paper.
+    FIXED_BRAM = 60
+
+    # -- LUT calibration constants (look-up tables) ----------------------------------
+    #: Everything outside the knobs below: integer-unit datapath, AHB/APB
+    #: bus fabric, memory controller, UART/IRQ/timer peripherals, DSU.
+    FIXED_LUTS = 9122
+    CACHE_CONTROLLER_LUTS = 1400      # per cache: controller + compare for 1 set
+    CACHE_EXTRA_SET_LUTS = 180        # per additional set: compare + way mux
+    CACHE_LRU_LUTS = 220              # LRU bookkeeping
+    CACHE_LRR_LUTS = 90               # LRR (FIFO) bookkeeping
+    CACHE_SHORT_LINE_LUTS = 60        # 4-word lines: more tag bits / fill control
+    DCACHE_FAST_READ_LUTS = 80
+    DCACHE_FAST_WRITE_LUTS = 120
+    FAST_JUMP_LUTS = 300
+    ICC_HOLD_LUTS = 120
+    FAST_DECODE_LUTS = 250
+    LOAD_DELAY1_LUTS = 140            # single-cycle load needs extra forwarding
+    REGISTER_WINDOW_LUTS = 55         # control logic per window beyond the default 8
+    BASE_REGISTER_WINDOWS = 8
+    NO_INFER_LUTS = 150               # explicit mult/div instantiation is less optimal
+    MULTIPLIER_LUTS: Dict[str, int] = {
+        Multiplier.NONE: 0,
+        Multiplier.ITERATIVE: 500,
+        Multiplier.M16X16: 1500,
+        Multiplier.M16X16_PIPE: 1560,
+        Multiplier.M32X8: 1680,
+        Multiplier.M32X16: 1760,
+        Multiplier.M32X32: 1900,
+    }
+    DIVIDER_LUTS: Dict[str, int] = {
+        Divider.RADIX2: 760,
+        Divider.NONE: 0,
+    }
+
+    def __init__(self, device: FpgaDevice = XCV2000E):
+        self.device = device
+
+    # -- public API ------------------------------------------------------------------
+
+    def synthesize(self, config: Configuration) -> ResourceReport:
+        """Synthesise ``config`` and return its resource report.
+
+        The report is not checked against the device capacity; callers
+        that need a buildable configuration should use
+        :meth:`~repro.fpga.report.ResourceReport.require_fits`.
+        """
+        lut_breakdown = self._lut_breakdown(config)
+        bram_breakdown = self._bram_breakdown(config)
+        return ResourceReport(
+            device=self.device,
+            luts=sum(lut_breakdown.values()),
+            brams=sum(bram_breakdown.values()),
+            lut_breakdown=lut_breakdown,
+            bram_breakdown=bram_breakdown,
+        )
+
+    def fits(self, config: Configuration) -> bool:
+        """True when ``config`` fits on the device."""
+        return self.synthesize(config).fits()
+
+    # -- BRAM model ----------------------------------------------------------------------
+
+    def cache_data_brams(self, geometry: CacheGeometry) -> int:
+        """Block RAMs holding the cache data arrays."""
+        return math.ceil(geometry.total_bytes / BRAM_BYTES)
+
+    def cache_tag_brams(self, geometry: CacheGeometry) -> int:
+        """Block RAMs holding the cache tag arrays."""
+        tag_bytes = geometry.total_lines * self.TAG_ENTRY_BYTES
+        return max(1, math.ceil(tag_bytes / BRAM_BYTES))
+
+    def cache_brams(self, geometry: CacheGeometry) -> int:
+        """Total block RAMs of one cache (data + tags)."""
+        return self.cache_data_brams(geometry) + self.cache_tag_brams(geometry)
+
+    def register_file_brams(self, windows: int) -> int:
+        """Block RAMs of the windowed register file (dual-ported)."""
+        registers = windows * 16 + 8
+        bytes_needed = registers * 4
+        return 2 * math.ceil(bytes_needed / BRAM_BYTES)
+
+    def _bram_breakdown(self, config: Configuration) -> Dict[str, int]:
+        icache = CacheGeometry(
+            config.icache_sets, config.icache_setsize_kb, config.icache_linesize_words)
+        dcache = CacheGeometry(
+            config.dcache_sets, config.dcache_setsize_kb, config.dcache_linesize_words)
+        return {
+            "icache": self.cache_brams(icache),
+            "dcache": self.cache_brams(dcache),
+            "register_file": self.register_file_brams(config.register_windows),
+            "fixed": self.FIXED_BRAM,
+        }
+
+    # -- LUT model ------------------------------------------------------------------------
+
+    def cache_luts(self, geometry: CacheGeometry, replacement: str,
+                   fast_read: bool = False, fast_write: bool = False) -> int:
+        """LUTs of one cache controller."""
+        luts = self.CACHE_CONTROLLER_LUTS
+        luts += self.CACHE_EXTRA_SET_LUTS * (geometry.sets - 1)
+        if replacement == Replacement.LRU:
+            luts += self.CACHE_LRU_LUTS
+        elif replacement == Replacement.LRR:
+            luts += self.CACHE_LRR_LUTS
+        if geometry.linesize_words == 4:
+            luts += self.CACHE_SHORT_LINE_LUTS
+        if fast_read:
+            luts += self.DCACHE_FAST_READ_LUTS
+        if fast_write:
+            luts += self.DCACHE_FAST_WRITE_LUTS
+        return luts
+
+    def integer_unit_luts(self, config: Configuration) -> int:
+        """LUTs of the integer unit excluding multiplier and divider."""
+        luts = 0
+        if config.fast_jump:
+            luts += self.FAST_JUMP_LUTS
+        if config.icc_hold:
+            luts += self.ICC_HOLD_LUTS
+        if config.fast_decode:
+            luts += self.FAST_DECODE_LUTS
+        if config.load_delay == 1:
+            luts += self.LOAD_DELAY1_LUTS
+        extra_windows = max(0, config.register_windows - self.BASE_REGISTER_WINDOWS)
+        luts += self.REGISTER_WINDOW_LUTS * extra_windows
+        return luts
+
+    def _lut_breakdown(self, config: Configuration) -> Dict[str, int]:
+        icache = CacheGeometry(
+            config.icache_sets, config.icache_setsize_kb, config.icache_linesize_words)
+        dcache = CacheGeometry(
+            config.dcache_sets, config.dcache_setsize_kb, config.dcache_linesize_words)
+        mult_luts = self.MULTIPLIER_LUTS[config.multiplier]
+        div_luts = self.DIVIDER_LUTS[config.divider]
+        infer_luts = 0 if config.infer_mult_div else self.NO_INFER_LUTS
+        return {
+            "icache": self.cache_luts(icache, config.icache_replacement),
+            "dcache": self.cache_luts(
+                dcache, config.dcache_replacement,
+                fast_read=config.dcache_fast_read, fast_write=config.dcache_fast_write),
+            "integer_unit": self.integer_unit_luts(config),
+            "multiplier": mult_luts,
+            "divider": div_luts,
+            "synthesis_options": infer_luts,
+            "fixed": self.FIXED_LUTS,
+        }

@@ -1,0 +1,26 @@
+"""LEON-like instruction set: instructions, registers, assembler, programs."""
+
+from repro.isa.instructions import CONDITION_CODES, Instruction, Op, OpClass, OP_CLASS
+from repro.isa.registers import RegisterFile, register_name, register_number
+from repro.isa.encoding import INSTRUCTION_BYTES, IMM13_MAX, IMM13_MIN, decode, encode
+from repro.isa.program import MemoryLayout, Program
+from repro.isa.assembler import Assembler
+
+__all__ = [
+    "CONDITION_CODES",
+    "Instruction",
+    "Op",
+    "OpClass",
+    "OP_CLASS",
+    "RegisterFile",
+    "register_name",
+    "register_number",
+    "INSTRUCTION_BYTES",
+    "IMM13_MAX",
+    "IMM13_MIN",
+    "decode",
+    "encode",
+    "MemoryLayout",
+    "Program",
+    "Assembler",
+]

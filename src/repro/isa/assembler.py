@@ -1,0 +1,362 @@
+"""Assembler DSL for building programs in Python.
+
+The benchmarks of the paper (BLASTN, CommBench DRR, CommBench FRAG, BYTE
+Arith) are implemented as programs for our LEON-like ISA.  Writing them as
+strings of assembly text would be tedious and error prone, so this module
+provides a small embedded DSL: an :class:`Assembler` object with one
+method per instruction, labels, symbolic data definitions and a couple of
+macros (``set``, ``cmp``, ``mov``).
+
+Operand order is destination-first: ``asm.add("g2", "g2", 1)`` computes
+``%g2 = %g2 + 1``.  The second source operand of ALU and memory
+instructions may be a register name or an integer immediate.
+
+Example
+-------
+>>> from repro.isa.assembler import Assembler
+>>> asm = Assembler("sum")
+>>> asm.set("g1", 10); asm.set("g2", 0)
+>>> asm.label("loop")
+>>> asm.add("g2", "g2", "g1")
+>>> asm.subcc("g1", "g1", 1)
+>>> asm.bne("loop")
+>>> asm.halt()
+>>> program = asm.assemble()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.errors import AssemblyError
+from repro.isa.encoding import IMM13_MAX, IMM13_MIN, INSTRUCTION_BYTES
+from repro.isa.instructions import Instruction, Op
+from repro.isa.program import MemoryLayout, Program
+from repro.isa.registers import register_number
+
+__all__ = ["Assembler"]
+
+Operand = Union[str, int]
+
+
+@dataclass
+class _Fixup:
+    """A deferred symbol reference to be patched at assembly time."""
+
+    instruction_index: int
+    kind: str  # "hi", "lo" or "target"
+    symbol: str
+
+
+class Assembler:
+    """Incremental program builder with labels, data and macros."""
+
+    def __init__(self, name: str = "program", layout: Optional[MemoryLayout] = None):
+        self.name = name
+        self.layout = layout or MemoryLayout()
+        self._instructions: List[Instruction] = []
+        self._data = bytearray()
+        self._symbols: Dict[str, int] = {}
+        self._fixups: List[_Fixup] = []
+
+    # ------------------------------------------------------------------ helpers --
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    @property
+    def here(self) -> int:
+        """Address of the next instruction to be emitted."""
+        return self.layout.text_base + len(self._instructions) * INSTRUCTION_BYTES
+
+    def _reg(self, name: Operand) -> int:
+        if isinstance(name, int):
+            if 0 <= name < 32:
+                return name
+            raise AssemblyError(f"register number {name} out of range")
+        return register_number(name)
+
+    def _emit(self, instr: Instruction) -> int:
+        self._instructions.append(instr.validate())
+        return len(self._instructions) - 1
+
+    def _alu(self, op: Op, rd: Operand, rs1: Operand, operand: Operand) -> None:
+        if isinstance(operand, int):
+            if not IMM13_MIN <= operand <= IMM13_MAX:
+                raise AssemblyError(
+                    f"immediate {operand} out of range for {op.value}; use set() first")
+            self._emit(Instruction(op=op, rd=self._reg(rd), rs1=self._reg(rs1), imm=operand))
+        else:
+            self._emit(Instruction(op=op, rd=self._reg(rd), rs1=self._reg(rs1),
+                                   rs2=self._reg(operand)))
+
+    # ----------------------------------------------------------------- labels ----
+
+    def label(self, name: str) -> None:
+        """Define a text label at the current position."""
+        if name in self._symbols:
+            raise AssemblyError(f"duplicate label {name!r}")
+        self._symbols[name] = self.here
+
+    # ------------------------------------------------------------- ALU & moves ----
+
+    def add(self, rd: Operand, rs1: Operand, operand: Operand) -> None:
+        self._alu(Op.ADD, rd, rs1, operand)
+
+    def addcc(self, rd: Operand, rs1: Operand, operand: Operand) -> None:
+        self._alu(Op.ADDCC, rd, rs1, operand)
+
+    def sub(self, rd: Operand, rs1: Operand, operand: Operand) -> None:
+        self._alu(Op.SUB, rd, rs1, operand)
+
+    def subcc(self, rd: Operand, rs1: Operand, operand: Operand) -> None:
+        self._alu(Op.SUBCC, rd, rs1, operand)
+
+    def and_(self, rd: Operand, rs1: Operand, operand: Operand) -> None:
+        self._alu(Op.AND, rd, rs1, operand)
+
+    def andcc(self, rd: Operand, rs1: Operand, operand: Operand) -> None:
+        self._alu(Op.ANDCC, rd, rs1, operand)
+
+    def or_(self, rd: Operand, rs1: Operand, operand: Operand) -> None:
+        self._alu(Op.OR, rd, rs1, operand)
+
+    def orcc(self, rd: Operand, rs1: Operand, operand: Operand) -> None:
+        self._alu(Op.ORCC, rd, rs1, operand)
+
+    def xor(self, rd: Operand, rs1: Operand, operand: Operand) -> None:
+        self._alu(Op.XOR, rd, rs1, operand)
+
+    def xorcc(self, rd: Operand, rs1: Operand, operand: Operand) -> None:
+        self._alu(Op.XORCC, rd, rs1, operand)
+
+    def sll(self, rd: Operand, rs1: Operand, operand: Operand) -> None:
+        self._alu(Op.SLL, rd, rs1, operand)
+
+    def srl(self, rd: Operand, rs1: Operand, operand: Operand) -> None:
+        self._alu(Op.SRL, rd, rs1, operand)
+
+    def sra(self, rd: Operand, rs1: Operand, operand: Operand) -> None:
+        self._alu(Op.SRA, rd, rs1, operand)
+
+    def umul(self, rd: Operand, rs1: Operand, operand: Operand) -> None:
+        self._alu(Op.UMUL, rd, rs1, operand)
+
+    def smul(self, rd: Operand, rs1: Operand, operand: Operand) -> None:
+        self._alu(Op.SMUL, rd, rs1, operand)
+
+    def udiv(self, rd: Operand, rs1: Operand, operand: Operand) -> None:
+        self._alu(Op.UDIV, rd, rs1, operand)
+
+    def sdiv(self, rd: Operand, rs1: Operand, operand: Operand) -> None:
+        self._alu(Op.SDIV, rd, rs1, operand)
+
+    def sethi(self, rd: Operand, imm21: int) -> None:
+        """Set the upper 21 bits of ``rd`` (``rd = imm21 << 11``)."""
+        self._emit(Instruction(op=Op.SETHI, rd=self._reg(rd), imm=imm21))
+
+    def mov(self, rd: Operand, source: Operand) -> None:
+        """Copy a register or a small immediate into ``rd``."""
+        self._alu(Op.OR, rd, "g0", source)
+
+    def set(self, rd: Operand, value: Union[int, str]) -> None:
+        """Load a full 32-bit constant or the address of a symbol into ``rd``.
+
+        Symbols may be forward references; they are patched at
+        :meth:`assemble` time and always expand to ``sethi`` + ``or``.
+        """
+        if isinstance(value, str):
+            index = self._emit(Instruction(op=Op.SETHI, rd=self._reg(rd), imm=0))
+            self._fixups.append(_Fixup(index, "hi", value))
+            index = self._emit(
+                Instruction(op=Op.OR, rd=self._reg(rd), rs1=self._reg(rd), imm=0))
+            self._fixups.append(_Fixup(index, "lo", value))
+            return
+        if IMM13_MIN <= value <= IMM13_MAX:
+            self.mov(rd, value)
+            return
+        if value < 0:
+            value &= 0xFFFFFFFF
+        if value >= 1 << 32:
+            raise AssemblyError(f"constant {value:#x} does not fit in 32 bits")
+        high, low = value >> 11, value & 0x7FF
+        self.sethi(rd, high)
+        if low:
+            self.or_(rd, rd, low)
+
+    def cmp(self, rs1: Operand, operand: Operand) -> None:
+        """Compare two values by setting the condition codes (``subcc ..., %g0``)."""
+        self._alu(Op.SUBCC, "g0", rs1, operand)
+
+    def tst(self, rs1: Operand) -> None:
+        """Set condition codes from a single register (``orcc %g0, rs1, %g0``)."""
+        self._emit(Instruction(op=Op.ORCC, rd=0, rs1=self._reg(rs1), rs2=0))
+
+    def nop(self) -> None:
+        self._emit(Instruction(op=Op.NOP))
+
+    def halt(self) -> None:
+        self._emit(Instruction(op=Op.HALT))
+
+    # --------------------------------------------------------------------- memory ----
+
+    def _mem(self, op: Op, value_reg: Operand, base: Operand, offset: Operand) -> None:
+        if isinstance(offset, int):
+            if not IMM13_MIN <= offset <= IMM13_MAX:
+                raise AssemblyError(f"memory offset {offset} out of range")
+            self._emit(Instruction(op=op, rd=self._reg(value_reg), rs1=self._reg(base),
+                                   imm=offset))
+        else:
+            self._emit(Instruction(op=op, rd=self._reg(value_reg), rs1=self._reg(base),
+                                   rs2=self._reg(offset)))
+
+    def ld(self, rd: Operand, base: Operand, offset: Operand = 0) -> None:
+        self._mem(Op.LD, rd, base, offset)
+
+    def ldub(self, rd: Operand, base: Operand, offset: Operand = 0) -> None:
+        self._mem(Op.LDUB, rd, base, offset)
+
+    def lduh(self, rd: Operand, base: Operand, offset: Operand = 0) -> None:
+        self._mem(Op.LDUH, rd, base, offset)
+
+    def ldsb(self, rd: Operand, base: Operand, offset: Operand = 0) -> None:
+        self._mem(Op.LDSB, rd, base, offset)
+
+    def ldsh(self, rd: Operand, base: Operand, offset: Operand = 0) -> None:
+        self._mem(Op.LDSH, rd, base, offset)
+
+    def st(self, value_reg: Operand, base: Operand, offset: Operand = 0) -> None:
+        self._mem(Op.ST, value_reg, base, offset)
+
+    def stb(self, value_reg: Operand, base: Operand, offset: Operand = 0) -> None:
+        self._mem(Op.STB, value_reg, base, offset)
+
+    def sth(self, value_reg: Operand, base: Operand, offset: Operand = 0) -> None:
+        self._mem(Op.STH, value_reg, base, offset)
+
+    # ------------------------------------------------------------------ control flow ----
+
+    def branch(self, condition: str, label: str) -> None:
+        self._emit(Instruction(op=Op.BRANCH, condition=condition, label=label, target=None))
+        self._fixups.append(_Fixup(len(self._instructions) - 1, "target", label))
+
+    def ba(self, label: str) -> None:
+        self.branch("a", label)
+
+    def be(self, label: str) -> None:
+        self.branch("e", label)
+
+    def bne(self, label: str) -> None:
+        self.branch("ne", label)
+
+    def bg(self, label: str) -> None:
+        self.branch("g", label)
+
+    def bge(self, label: str) -> None:
+        self.branch("ge", label)
+
+    def bl(self, label: str) -> None:
+        self.branch("l", label)
+
+    def ble(self, label: str) -> None:
+        self.branch("le", label)
+
+    def bgu(self, label: str) -> None:
+        self.branch("gu", label)
+
+    def bleu(self, label: str) -> None:
+        self.branch("leu", label)
+
+    def bcc(self, label: str) -> None:
+        self.branch("cc", label)
+
+    def bcs(self, label: str) -> None:
+        self.branch("cs", label)
+
+    def call(self, label: str) -> None:
+        self._emit(Instruction(op=Op.CALL, label=label, target=None))
+        self._fixups.append(_Fixup(len(self._instructions) - 1, "target", label))
+
+    def jmpl(self, rd: Operand, base: Operand, offset: int = 0) -> None:
+        self._emit(Instruction(op=Op.JMPL, rd=self._reg(rd), rs1=self._reg(base), imm=offset))
+
+    def ret(self) -> None:
+        """Return to the caller and restore the register window."""
+        self._emit(Instruction(op=Op.RET))
+
+    def retl(self) -> None:
+        """Leaf-procedure return (no register window change)."""
+        self._emit(Instruction(op=Op.RETL))
+
+    def save(self, frame_bytes: int = 96) -> None:
+        """Enter a new register window and carve a stack frame."""
+        self._emit(Instruction(op=Op.SAVE, rd=register_number("sp"),
+                               rs1=register_number("sp"), imm=-abs(frame_bytes)))
+
+    def restore(self, rd: Operand = "g0", rs1: Operand = "g0", operand: Operand = 0) -> None:
+        self._alu(Op.RESTORE, rd, rs1, operand)
+
+    # --------------------------------------------------------------------- data ------
+
+    def data_label(self, name: str) -> int:
+        """Define a data label at the current end of the data segment."""
+        if name in self._symbols:
+            raise AssemblyError(f"duplicate label {name!r}")
+        address = self.layout.data_base + len(self._data)
+        self._symbols[name] = address
+        return address
+
+    def word_data(self, values: Iterable[int]) -> None:
+        """Append 32-bit words to the data segment."""
+        for value in values:
+            self._data += (value & 0xFFFFFFFF).to_bytes(4, "little")
+
+    def half_data(self, values: Iterable[int]) -> None:
+        """Append 16-bit halfwords to the data segment."""
+        for value in values:
+            self._data += (value & 0xFFFF).to_bytes(2, "little")
+
+    def byte_data(self, values: Union[bytes, bytearray, Sequence[int]]) -> None:
+        """Append raw bytes to the data segment."""
+        self._data += bytes(v & 0xFF for v in values)
+
+    def zeros(self, count: int) -> None:
+        """Reserve ``count`` zero bytes in the data segment."""
+        self._data += bytes(count)
+
+    def align(self, boundary: int = 4) -> None:
+        """Pad the data segment to the given alignment."""
+        remainder = len(self._data) % boundary
+        if remainder:
+            self._data += bytes(boundary - remainder)
+
+    # ------------------------------------------------------------------- assembly -----
+
+    def assemble(self) -> Program:
+        """Resolve labels and produce an immutable :class:`Program`."""
+        instructions = list(self._instructions)
+        for fixup in self._fixups:
+            if fixup.symbol not in self._symbols:
+                raise AssemblyError(f"undefined symbol {fixup.symbol!r}")
+            address = self._symbols[fixup.symbol]
+            instr = instructions[fixup.instruction_index]
+            if fixup.kind == "target":
+                instructions[fixup.instruction_index] = Instruction(
+                    op=instr.op, rd=instr.rd, rs1=instr.rs1, rs2=instr.rs2, imm=instr.imm,
+                    condition=instr.condition, target=address, label=instr.label)
+            elif fixup.kind == "hi":
+                instructions[fixup.instruction_index] = Instruction(
+                    op=Op.SETHI, rd=instr.rd, imm=address >> 11)
+            elif fixup.kind == "lo":
+                instructions[fixup.instruction_index] = Instruction(
+                    op=Op.OR, rd=instr.rd, rs1=instr.rs1, imm=address & 0x7FF)
+            else:  # pragma: no cover - defensive
+                raise AssemblyError(f"unknown fixup kind {fixup.kind!r}")
+        return Program(
+            instructions=tuple(instructions),
+            data=bytes(self._data),
+            symbols=dict(self._symbols),
+            layout=self.layout,
+            name=self.name,
+        )

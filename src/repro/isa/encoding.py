@@ -1,0 +1,119 @@
+"""Binary encoding of instructions to 32-bit words.
+
+The encoding is *not* SPARC V8 machine code; it is a compact fixed-width
+format used (a) to give every instruction a realistic 4-byte footprint for
+the instruction-cache model and (b) to support round-trip property tests
+(assemble -> encode -> decode -> identical instruction).
+
+Word layout (most significant bits first)::
+
+    [31:26] opcode           (Op enum position, 6 bits)
+    [25:21] rd               (5 bits)
+    [20:16] rs1              (5 bits)
+    [15]    immediate flag   (1 = 13-bit immediate, 0 = rs2)
+    [14:11] condition        (branches only, 4 bits)
+    [12:0]  rs2 or imm13     (two's complement immediate)
+
+Branches and calls store their target as a signed *word* displacement from
+the instruction's own address in bits [20:0]; SETHI stores a 21-bit
+immediate in bits [20:0] (the simulator implements ``rd = imm << 11``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import AssemblyError
+from repro.isa.instructions import CONDITION_CODES, Instruction, Op
+
+__all__ = ["encode", "decode", "IMM13_MIN", "IMM13_MAX", "INSTRUCTION_BYTES"]
+
+#: Size of every encoded instruction in bytes.
+INSTRUCTION_BYTES = 4
+
+IMM13_MIN = -(1 << 12)
+IMM13_MAX = (1 << 12) - 1
+
+_OPS = list(Op)
+_OP_INDEX = {op: i for i, op in enumerate(_OPS)}
+_DISP_BITS = 21
+_DISP_MIN = -(1 << (_DISP_BITS - 1))
+_DISP_MAX = (1 << (_DISP_BITS - 1)) - 1
+
+
+def _to_unsigned(value: int, bits: int) -> int:
+    lo = -(1 << (bits - 1))
+    hi = (1 << (bits - 1)) - 1
+    if not lo <= value <= hi:
+        raise AssemblyError(f"value {value} does not fit in {bits} signed bits")
+    return value & ((1 << bits) - 1)
+
+
+def _to_signed(value: int, bits: int) -> int:
+    sign = 1 << (bits - 1)
+    return value - (1 << bits) if value & sign else value
+
+
+def encode(instr: Instruction, address: int) -> int:
+    """Encode ``instr`` located at ``address`` into a 32-bit word."""
+    instr.validate()
+    opcode = _OP_INDEX[instr.op]
+    word = opcode << 26
+
+    if instr.op in (Op.CALL, Op.BRANCH):
+        if instr.target is None:
+            raise AssemblyError(f"cannot encode unresolved control transfer {instr}")
+        disp_words = (instr.target - address) // INSTRUCTION_BYTES
+        disp = _to_unsigned(disp_words, _DISP_BITS)
+        cond = CONDITION_CODES.index(instr.condition) if instr.condition else 0
+        word |= (cond & 0xF) << 21
+        word |= disp
+        return word
+
+    if instr.op == Op.SETHI:
+        if instr.imm is None or not 0 <= instr.imm < (1 << 21):
+            raise AssemblyError(f"sethi immediate out of range: {instr.imm!r}")
+        # SETHI uses its own layout: rd sits above a 21-bit immediate.
+        return (opcode << 26) | ((instr.rd & 0x1F) << 21) | (instr.imm & 0x1FFFFF)
+
+    word |= (instr.rd & 0x1F) << 21
+    word |= (instr.rs1 & 0x1F) << 16
+    if instr.imm is not None:
+        word |= 1 << 15
+        word |= _to_unsigned(instr.imm, 13)
+    else:
+        word |= (instr.rs2 or 0) & 0x1F
+    return word
+
+
+def decode(word: int, address: int) -> Instruction:
+    """Decode a word produced by :func:`encode` back into an :class:`Instruction`."""
+    opcode = (word >> 26) & 0x3F
+    if opcode >= len(_OPS):
+        raise AssemblyError(f"illegal opcode {opcode} in word {word:#010x}")
+    op = _OPS[opcode]
+
+    if op in (Op.CALL, Op.BRANCH):
+        cond_idx = (word >> 21) & 0xF
+        disp = _to_signed(word & ((1 << _DISP_BITS) - 1), _DISP_BITS)
+        target = address + disp * INSTRUCTION_BYTES
+        condition = CONDITION_CODES[cond_idx] if op == Op.BRANCH else None
+        return Instruction(op=op, condition=condition, target=target)
+
+    if op == Op.SETHI:
+        rd = (word >> 21) & 0x1F
+        imm = word & 0x1FFFFF
+        return Instruction(op=op, rd=rd, imm=imm)
+
+    if op in (Op.RET, Op.RETL, Op.NOP, Op.HALT):
+        return Instruction(op=op)
+
+    rd = (word >> 21) & 0x1F
+    rs1 = (word >> 16) & 0x1F
+    if word & (1 << 15):
+        imm: Optional[int] = _to_signed(word & 0x1FFF, 13)
+        rs2: Optional[int] = None
+    else:
+        imm = None
+        rs2 = word & 0x1F
+    return Instruction(op=op, rd=rd, rs1=rs1, rs2=rs2, imm=imm)

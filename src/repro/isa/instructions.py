@@ -1,0 +1,230 @@
+"""Instruction set definition for the LEON-like (SPARC V8 subset) core.
+
+The reproduction does not need binary compatibility with SPARC; it needs
+an instruction set rich enough to express the paper's four benchmarks and
+whose dynamic instruction mix exercises every microarchitecture parameter
+of Figure 1 (integer ALU, hardware multiply/divide, loads/stores of
+word/half/byte, condition-code branches, calls and register windows).
+
+Instructions are represented as decoded :class:`Instruction` objects; the
+functional simulator dispatches on :attr:`Instruction.op` and the timing
+model groups ops into :class:`OpClass` categories.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import AssemblyError
+
+__all__ = ["Op", "OpClass", "Instruction", "OP_CLASS", "CONDITION_CODES"]
+
+
+class Op(str, enum.Enum):
+    """Instruction mnemonics."""
+
+    # ALU (register/immediate second operand)
+    ADD = "add"
+    ADDCC = "addcc"
+    SUB = "sub"
+    SUBCC = "subcc"
+    AND = "and"
+    ANDCC = "andcc"
+    OR = "or"
+    ORCC = "orcc"
+    XOR = "xor"
+    XORCC = "xorcc"
+    SLL = "sll"
+    SRL = "srl"
+    SRA = "sra"
+    SETHI = "sethi"
+    # multiply / divide (hardware presence is a timing property only)
+    UMUL = "umul"
+    SMUL = "smul"
+    UDIV = "udiv"
+    SDIV = "sdiv"
+    # memory
+    LD = "ld"       # load word
+    LDUB = "ldub"   # load unsigned byte
+    LDUH = "lduh"   # load unsigned halfword
+    LDSB = "ldsb"   # load signed byte
+    LDSH = "ldsh"   # load signed halfword
+    ST = "st"       # store word
+    STB = "stb"     # store byte
+    STH = "sth"     # store halfword
+    # control transfer
+    BRANCH = "b"    # conditional branch on integer condition codes
+    CALL = "call"   # call label, return address in %o7
+    JMPL = "jmpl"   # jump to register + immediate, link into rd
+    RET = "ret"     # return to %i7 and restore the register window
+    RETL = "retl"   # leaf return to %o7 (no window change)
+    SAVE = "save"   # new register window (+ ADD semantics for the stack pointer)
+    RESTORE = "restore"
+    # misc
+    NOP = "nop"
+    HALT = "halt"   # stop the simulation (not a SPARC instruction)
+
+
+class OpClass(enum.IntEnum):
+    """Timing classes used by the cycle model (values are stable/trace-encoded)."""
+
+    ALU = 0
+    SETHI = 1
+    LOAD = 2
+    STORE = 3
+    BRANCH_UNTAKEN = 4
+    BRANCH_TAKEN = 5
+    CALL = 6
+    JUMP = 7
+    MUL = 8
+    DIV = 9
+    SAVE = 10
+    RESTORE = 11
+    NOP = 12
+    HALT = 13
+
+
+#: Static mapping from mnemonic to timing class.  Branches are classified
+#: dynamically (taken vs. untaken) by the functional simulator.
+OP_CLASS: Dict[Op, OpClass] = {
+    Op.ADD: OpClass.ALU, Op.ADDCC: OpClass.ALU, Op.SUB: OpClass.ALU,
+    Op.SUBCC: OpClass.ALU, Op.AND: OpClass.ALU, Op.ANDCC: OpClass.ALU,
+    Op.OR: OpClass.ALU, Op.ORCC: OpClass.ALU, Op.XOR: OpClass.ALU,
+    Op.XORCC: OpClass.ALU, Op.SLL: OpClass.ALU, Op.SRL: OpClass.ALU,
+    Op.SRA: OpClass.ALU, Op.SETHI: OpClass.SETHI,
+    Op.UMUL: OpClass.MUL, Op.SMUL: OpClass.MUL,
+    Op.UDIV: OpClass.DIV, Op.SDIV: OpClass.DIV,
+    Op.LD: OpClass.LOAD, Op.LDUB: OpClass.LOAD, Op.LDUH: OpClass.LOAD,
+    Op.LDSB: OpClass.LOAD, Op.LDSH: OpClass.LOAD,
+    Op.ST: OpClass.STORE, Op.STB: OpClass.STORE, Op.STH: OpClass.STORE,
+    Op.CALL: OpClass.CALL, Op.JMPL: OpClass.JUMP, Op.RET: OpClass.JUMP,
+    Op.RETL: OpClass.JUMP, Op.SAVE: OpClass.SAVE, Op.RESTORE: OpClass.RESTORE,
+    Op.NOP: OpClass.NOP, Op.HALT: OpClass.HALT,
+}
+
+#: Branch conditions over the integer condition codes (N, Z, V, C).
+CONDITION_CODES: Tuple[str, ...] = (
+    "a",    # always
+    "n",    # never
+    "e",    # equal                 (Z)
+    "ne",   # not equal             (!Z)
+    "g",    # signed greater        (!(Z | (N ^ V)))
+    "le",   # signed less-or-equal  (Z | (N ^ V))
+    "ge",   # signed greater-equal  (!(N ^ V))
+    "l",    # signed less           (N ^ V)
+    "gu",   # unsigned greater      (!(C | Z))
+    "leu",  # unsigned less-equal   (C | Z)
+    "cc",   # carry clear / unsigned greater-equal (!C)
+    "cs",   # carry set / unsigned less            (C)
+    "pos",  # positive (!N)
+    "neg",  # negative (N)
+)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction.
+
+    Fields not used by a given mnemonic are left at their defaults; the
+    assembler is responsible for filling in the correct combination and
+    :meth:`validate` enforces it.
+    """
+
+    op: Op
+    rd: int = 0
+    rs1: int = 0
+    rs2: Optional[int] = None          # register source 2, mutually exclusive with imm
+    imm: Optional[int] = None          # immediate operand
+    condition: Optional[str] = None    # branch condition
+    target: Optional[int] = None       # resolved absolute address for branch/call
+    label: Optional[str] = None        # symbolic target (pre-resolution)
+    annul_sets_cc: bool = False        # unused placeholder kept for encoding symmetry
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def op_class(self) -> OpClass:
+        return OP_CLASS[self.op]
+
+    @property
+    def is_load(self) -> bool:
+        return self.op_class == OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.op_class == OpClass.STORE
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op == Op.BRANCH
+
+    @property
+    def is_control(self) -> bool:
+        return self.op in (Op.BRANCH, Op.CALL, Op.JMPL, Op.RET, Op.RETL)
+
+    @property
+    def sets_icc(self) -> bool:
+        """True when the instruction updates the integer condition codes."""
+        return self.op in (Op.ADDCC, Op.SUBCC, Op.ANDCC, Op.ORCC, Op.XORCC)
+
+    @property
+    def reads_registers(self) -> Tuple[int, ...]:
+        """Architectural registers read by this instruction (window-relative 0..31)."""
+        if self.op in (Op.SETHI, Op.NOP, Op.HALT, Op.CALL):
+            return ()
+        if self.op == Op.BRANCH:
+            return ()
+        regs = [self.rs1]
+        if self.rs2 is not None:
+            regs.append(self.rs2)
+        if self.is_store:
+            regs.append(self.rd)  # stores read the "destination" register as data
+        return tuple(regs)
+
+    @property
+    def writes_register(self) -> Optional[int]:
+        """The architectural register written, or ``None``."""
+        if self.op in (Op.NOP, Op.HALT, Op.BRANCH) or self.is_store:
+            return None
+        if self.op in (Op.RET, Op.RETL):
+            return None
+        if self.op == Op.CALL:
+            return 15  # %o7
+        return self.rd
+
+    # -- validation ----------------------------------------------------------------
+
+    def validate(self) -> "Instruction":
+        """Check operand consistency; returns ``self`` for chaining."""
+        if not 0 <= self.rd < 32 or not 0 <= self.rs1 < 32:
+            raise AssemblyError(f"register out of range in {self}")
+        if self.rs2 is not None and not 0 <= self.rs2 < 32:
+            raise AssemblyError(f"register out of range in {self}")
+        if self.rs2 is not None and self.imm is not None:
+            raise AssemblyError(f"instruction {self} has both a register and an immediate operand")
+        if self.op == Op.BRANCH:
+            if self.condition not in CONDITION_CODES:
+                raise AssemblyError(f"unknown branch condition {self.condition!r}")
+            if self.target is None and self.label is None:
+                raise AssemblyError("branch without a target")
+        if self.op == Op.CALL and self.target is None and self.label is None:
+            raise AssemblyError("call without a target")
+        if self.op == Op.SETHI and self.imm is None:
+            raise AssemblyError("sethi requires an immediate")
+        return self
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [self.op.value]
+        if self.condition:
+            parts[0] = f"b{self.condition}"
+        if self.label is not None:
+            parts.append(self.label)
+        elif self.target is not None and self.is_control:
+            parts.append(hex(self.target))
+        else:
+            operand = f"r{self.rs2}" if self.rs2 is not None else (
+                str(self.imm) if self.imm is not None else "")
+            parts.append(f"r{self.rd}, r{self.rs1}, {operand}")
+        return " ".join(p for p in parts if p)

@@ -1,0 +1,130 @@
+"""SPARC-style windowed register file.
+
+The visible architectural registers are the eight globals (``%g0``–``%g7``,
+with ``%g0`` hard-wired to zero) plus 24 windowed registers: ``%o0``–``%o7``
+(outs), ``%l0``–``%l7`` (locals) and ``%i0``–``%i7`` (ins).  ``SAVE`` rotates
+to a new window in which the caller's *outs* become the callee's *ins*;
+``RESTORE`` rotates back.
+
+The functional register file is *unbounded*: windows are allocated on
+demand so program results never depend on the configured window count.
+The configured count (8 or 16–32 in the paper's Figure 1) only matters to
+the *timing* model, which charges window overflow/underflow trap costs
+based on the call-depth trace recorded by the functional simulator (see
+:mod:`repro.microarch.timing`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import SimulationError
+
+__all__ = ["RegisterFile", "register_number", "register_name", "REGISTER_ALIASES"]
+
+#: Friendly aliases accepted by the assembler.
+REGISTER_ALIASES: Dict[str, str] = {"sp": "o6", "fp": "i6", "ra": "o7", "zero": "g0"}
+
+_GROUP_BASE = {"g": 0, "o": 8, "l": 16, "i": 24}
+_GROUP_NAME = {0: "g", 8: "o", 16: "l", 24: "i"}
+
+_MASK32 = 0xFFFFFFFF
+
+
+def register_number(name: str) -> int:
+    """Translate a register name (``"g3"``, ``"%o2"``, ``"sp"``) to 0..31."""
+    text = name.lower().lstrip("%")
+    text = REGISTER_ALIASES.get(text, text)
+    if len(text) != 2 or text[0] not in _GROUP_BASE or not text[1].isdigit():
+        raise SimulationError(f"unknown register name {name!r}")
+    index = int(text[1])
+    if index > 7:
+        raise SimulationError(f"unknown register name {name!r}")
+    return _GROUP_BASE[text[0]] + index
+
+
+def register_name(number: int) -> str:
+    """Inverse of :func:`register_number` (canonical ``g/o/l/i`` form)."""
+    if not 0 <= number < 32:
+        raise SimulationError(f"register number {number} out of range")
+    base = (number // 8) * 8
+    return f"{_GROUP_NAME[base]}{number - base}"
+
+
+class RegisterFile:
+    """Unbounded windowed register file with 32-bit wrap-around semantics."""
+
+    __slots__ = ("_globals", "_windows", "_bottom_ins", "_cwp", "max_depth")
+
+    def __init__(self) -> None:
+        self._globals: List[int] = [0] * 8
+        # each window holds locals[0:8] + outs[8:16]
+        self._windows: List[List[int]] = [[0] * 16]
+        self._bottom_ins: List[int] = [0] * 8
+        self._cwp = 0
+        self.max_depth = 0
+
+    # -- window management --------------------------------------------------------
+
+    @property
+    def window(self) -> int:
+        """Current window (call depth relative to the initial window)."""
+        return self._cwp
+
+    def save_window(self) -> None:
+        """Enter a new register window (callee side of SAVE)."""
+        self._cwp += 1
+        if self._cwp == len(self._windows):
+            self._windows.append([0] * 16)
+        self.max_depth = max(self.max_depth, self._cwp)
+
+    def restore_window(self) -> None:
+        """Return to the caller's register window (RESTORE / RET)."""
+        if self._cwp == 0:
+            raise SimulationError("register window underflow below the initial window")
+        self._cwp -= 1
+
+    # -- register access --------------------------------------------------------------
+
+    def read(self, reg: int) -> int:
+        """Read architectural register ``reg`` (0..31) in the current window."""
+        if reg == 0:
+            return 0
+        if reg < 8:
+            return self._globals[reg]
+        if reg < 16:  # outs
+            return self._windows[self._cwp][8 + (reg - 8)]
+        if reg < 24:  # locals
+            return self._windows[self._cwp][reg - 16]
+        # ins: the caller's outs
+        if self._cwp == 0:
+            return self._bottom_ins[reg - 24]
+        return self._windows[self._cwp - 1][8 + (reg - 24)]
+
+    def write(self, reg: int, value: int) -> None:
+        """Write ``value`` (wrapped to 32 bits) to register ``reg``."""
+        value &= _MASK32
+        if reg == 0:
+            return  # %g0 ignores writes
+        if reg < 8:
+            self._globals[reg] = value
+        elif reg < 16:
+            self._windows[self._cwp][8 + (reg - 8)] = value
+        elif reg < 24:
+            self._windows[self._cwp][reg - 16] = value
+        else:
+            if self._cwp == 0:
+                self._bottom_ins[reg - 24] = value
+            else:
+                self._windows[self._cwp - 1][8 + (reg - 24)] = value
+
+    def read_signed(self, reg: int) -> int:
+        """Read a register interpreting the value as a signed 32-bit integer."""
+        value = self.read(reg)
+        return value - 0x1_0000_0000 if value & 0x8000_0000 else value
+
+    # -- debugging --------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, int]:
+        """All visible registers of the current window as a name->value mapping."""
+        return {register_name(i): self.read(i) for i in range(32)}

@@ -1,0 +1,32 @@
+"""Cycle-level microarchitecture simulation: caches, pipeline timing, traces."""
+
+from repro.microarch.cache import Cache, CacheConfig, CacheStatistics
+from repro.microarch.functional import FunctionalSimulator, SimulationResult
+from repro.microarch.memory import Memory
+from repro.microarch.processor import ProcessorModel, ProgramRun
+from repro.microarch.statistics import (
+    DEFAULT_CLOCK_MHZ,
+    ExecutionStatistics,
+    cycles_to_seconds,
+)
+from repro.microarch.timing import TimingModel, TimingParameters, count_window_traps
+from repro.microarch.trace import ExecutionTrace, TraceBuilder
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "CacheStatistics",
+    "FunctionalSimulator",
+    "SimulationResult",
+    "Memory",
+    "ProcessorModel",
+    "ProgramRun",
+    "DEFAULT_CLOCK_MHZ",
+    "ExecutionStatistics",
+    "cycles_to_seconds",
+    "TimingModel",
+    "TimingParameters",
+    "count_window_traps",
+    "ExecutionTrace",
+    "TraceBuilder",
+]

@@ -1,0 +1,293 @@
+"""Set-associative cache models (LEON instruction and data caches).
+
+Terminology follows LEON/the paper: a cache is organised as ``sets``
+*ways* (1 to 4, 1 meaning direct mapped), each way ("set" in LEON speak)
+holding ``setsize_kb`` kilobytes split into lines of ``linesize_words``
+32-bit words.  Three replacement policies are supported: random (an LFSR
+in the real hardware, a deterministic PRNG here), LRR (least recently
+replaced, i.e. FIFO, only defined for 2 ways) and LRU.
+
+The data cache is write-through with no write-allocate, which matches
+LEON2: stores update the cache on a hit and go straight to memory on a
+miss without fetching the line, so only *load* misses stall the pipeline
+for a line fill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.config.configuration import Configuration
+from repro.config.leon_space import Replacement
+from repro.errors import ConfigurationError
+
+__all__ = ["CacheConfig", "CacheStatistics", "Cache"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and policy of one cache."""
+
+    ways: int
+    setsize_kb: int
+    linesize_words: int
+    replacement: str = Replacement.RANDOM
+    seed: int = 0xC0FFEE
+
+    def __post_init__(self) -> None:
+        if self.ways < 1:
+            raise ConfigurationError("cache must have at least one way")
+        if self.setsize_kb < 1:
+            raise ConfigurationError("cache way size must be at least 1 KB")
+        if self.linesize_words < 1:
+            raise ConfigurationError("cache line must contain at least one word")
+        if self.replacement not in Replacement.ALL:
+            raise ConfigurationError(f"unknown replacement policy {self.replacement!r}")
+        # Note: LEON restricts LRR to 2-way and LRU to multi-way caches.  That
+        # hardware validity rule lives in repro.config.rules and in the BINLP
+        # coupling constraints; the simulator itself degrades gracefully (with a
+        # single way every policy is equivalent), which lets the one-factor
+        # campaign measure replacement-policy perturbations in isolation.
+        if self.lines_per_way < 1:
+            raise ConfigurationError("cache way smaller than one line")
+
+    @property
+    def linesize_bytes(self) -> int:
+        return self.linesize_words * 4
+
+    @property
+    def lines_per_way(self) -> int:
+        return (self.setsize_kb * 1024) // self.linesize_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.ways * self.setsize_kb * 1024
+
+    @classmethod
+    def icache_from(cls, config: Configuration) -> "CacheConfig":
+        """Instruction-cache geometry from a full processor configuration."""
+        return cls(
+            ways=config.icache_sets,
+            setsize_kb=config.icache_setsize_kb,
+            linesize_words=config.icache_linesize_words,
+            replacement=config.icache_replacement,
+        )
+
+    @classmethod
+    def dcache_from(cls, config: Configuration) -> "CacheConfig":
+        """Data-cache geometry from a full processor configuration."""
+        return cls(
+            ways=config.dcache_sets,
+            setsize_kb=config.dcache_setsize_kb,
+            linesize_words=config.dcache_linesize_words,
+            replacement=config.dcache_replacement,
+        )
+
+
+@dataclass(frozen=True)
+class CacheStatistics:
+    """Hit/miss counts of one cache simulation."""
+
+    accesses: int
+    read_accesses: int
+    write_accesses: int
+    read_misses: int
+    write_misses: int
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def read_miss_rate(self) -> float:
+        return self.read_misses / self.read_accesses if self.read_accesses else 0.0
+
+
+class Cache:
+    """Trace-driven set-associative cache simulator."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        lines = config.lines_per_way
+        ways = config.ways
+        # tag store: -1 means invalid
+        self._tags = np.full((lines, ways), -1, dtype=np.int64)
+        # per-line replacement state: LRU ages or LRR/FIFO pointer
+        self._age = np.zeros((lines, ways), dtype=np.int64)
+        self._fifo = np.zeros(lines, dtype=np.int64)
+        self._rng = np.random.default_rng(config.seed)
+        self._tick = 0
+
+    # -- single access -----------------------------------------------------------------
+
+    def access(self, address: int, *, write: bool = False) -> bool:
+        """Access one address; returns ``True`` on a hit.
+
+        Write misses do not allocate (write-through, no write-allocate).
+        """
+        cfg = self.config
+        line_number = address // cfg.linesize_bytes
+        index = line_number % cfg.lines_per_way
+        tag = line_number // cfg.lines_per_way
+        tags_row = self._tags[index]
+        self._tick += 1
+
+        for way in range(cfg.ways):
+            if tags_row[way] == tag:
+                if cfg.replacement == Replacement.LRU:
+                    self._age[index, way] = self._tick
+                return True
+
+        # miss
+        if write:
+            return False
+        self._fill(index, tag)
+        return False
+
+    def _fill(self, index: int, tag: int) -> None:
+        cfg = self.config
+        tags_row = self._tags[index]
+        # prefer an invalid way
+        for way in range(cfg.ways):
+            if tags_row[way] == -1:
+                tags_row[way] = tag
+                self._age[index, way] = self._tick
+                if cfg.replacement == Replacement.LRR:
+                    self._fifo[index] = (way + 1) % cfg.ways
+                return
+        if cfg.replacement == Replacement.RANDOM:
+            victim = int(self._rng.integers(cfg.ways)) if cfg.ways > 1 else 0
+        elif cfg.replacement == Replacement.LRR:
+            victim = int(self._fifo[index])
+            self._fifo[index] = (victim + 1) % cfg.ways
+        else:  # LRU
+            victim = int(np.argmin(self._age[index]))
+        tags_row[victim] = tag
+        self._age[index, victim] = self._tick
+
+    # -- trace simulation ----------------------------------------------------------------
+
+    def simulate(
+        self,
+        addresses: np.ndarray,
+        writes: Optional[np.ndarray] = None,
+    ) -> CacheStatistics:
+        """Simulate a full address trace and return hit/miss statistics.
+
+        Parameters
+        ----------
+        addresses:
+            Effective byte addresses in access order.
+        writes:
+            Optional boolean array aligned with ``addresses``; ``True``
+            marks a store.  When omitted every access is a read (the
+            instruction-cache case).
+        """
+        cfg = self.config
+        lines_per_way = cfg.lines_per_way
+        linesize = cfg.linesize_bytes
+        line_numbers = np.asarray(addresses, dtype=np.int64) // linesize
+        indices = line_numbers % lines_per_way
+        tags = line_numbers // lines_per_way
+        if writes is None:
+            writes_arr = np.zeros(len(line_numbers), dtype=bool)
+        else:
+            writes_arr = np.asarray(writes, dtype=bool)
+            if writes_arr.shape != line_numbers.shape:
+                raise ConfigurationError("writes mask must match the address trace length")
+
+        read_misses = 0
+        write_misses = 0
+        write_total = int(np.count_nonzero(writes_arr))
+
+        # Fast path for read-only traces (the instruction cache): when every
+        # index holds no more distinct lines than there are ways, no eviction
+        # can ever happen, so the misses are exactly the compulsory ones.
+        # This is the common case for the paper's benchmark kernels, whose
+        # text fits comfortably in the instruction cache.
+        if write_total == 0 and len(line_numbers):
+            unique_lines = np.unique(line_numbers)
+            unique_indices = unique_lines % lines_per_way
+            _, per_index_counts = np.unique(unique_indices, return_counts=True)
+            if per_index_counts.max() <= cfg.ways:
+                # install every line once so subsequent simulate() calls see them
+                for line in unique_lines:
+                    self._tick += 1
+                    self._fill(int(line % lines_per_way), int(line // lines_per_way))
+                return CacheStatistics(
+                    accesses=len(line_numbers),
+                    read_accesses=len(line_numbers),
+                    write_accesses=0,
+                    read_misses=int(len(unique_lines)),
+                    write_misses=0,
+                )
+
+        # local bindings for speed in the hot loop
+        tag_store = self._tags
+        age = self._age
+        fifo = self._fifo
+        ways = cfg.ways
+        replacement = cfg.replacement
+        lru = replacement == Replacement.LRU
+        lrr = replacement == Replacement.LRR
+        rng = self._rng
+        tick = self._tick
+        # pre-draw random victims to keep the loop allocation free
+        random_victims = (
+            rng.integers(0, ways, size=len(line_numbers)) if ways > 1 else None)
+
+        for i in range(len(line_numbers)):
+            index = indices[i]
+            tag = tags[i]
+            row = tag_store[index]
+            tick += 1
+            hit = False
+            for way in range(ways):
+                if row[way] == tag:
+                    hit = True
+                    if lru:
+                        age[index, way] = tick
+                    break
+            if hit:
+                continue
+            if writes_arr[i]:
+                write_misses += 1
+                continue  # no write allocate
+            read_misses += 1
+            # fill: invalid way first, then policy victim
+            victim = -1
+            for way in range(ways):
+                if row[way] == -1:
+                    victim = way
+                    break
+            if victim < 0:
+                if lru:
+                    victim = int(np.argmin(age[index]))
+                elif lrr:
+                    victim = int(fifo[index])
+                    fifo[index] = (victim + 1) % ways
+                else:
+                    victim = int(random_victims[i]) if random_victims is not None else 0
+            row[victim] = tag
+            age[index, victim] = tick
+
+        self._tick = tick
+        accesses = len(line_numbers)
+        return CacheStatistics(
+            accesses=accesses,
+            read_accesses=accesses - write_total,
+            write_accesses=write_total,
+            read_misses=read_misses,
+            write_misses=write_misses,
+        )

@@ -1,0 +1,85 @@
+"""Execution statistics (the Liquid Architecture "statistics module").
+
+The paper relies on a hardware-based, non-intrusive, cycle-accurate
+profiler to count the clock cycles an application takes on a given
+processor configuration.  :class:`ExecutionStatistics` plays that role
+here: it is the result of replaying an execution trace against one
+microarchitecture configuration and contains the cycle count, a breakdown
+of where the cycles went and the cache statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.config.configuration import Configuration
+from repro.microarch.cache import CacheStatistics
+
+__all__ = ["ExecutionStatistics", "DEFAULT_CLOCK_MHZ", "cycles_to_seconds"]
+
+#: LEON2 on the VirtexE platform of the paper runs at roughly 25 MHz.
+DEFAULT_CLOCK_MHZ = 25.0
+
+
+def cycles_to_seconds(cycles: int, clock_mhz: float = DEFAULT_CLOCK_MHZ) -> float:
+    """Convert a cycle count to seconds at the given clock frequency."""
+    return cycles / (clock_mhz * 1e6)
+
+
+@dataclass(frozen=True)
+class ExecutionStatistics:
+    """Cycle-accurate profile of one (workload, configuration) pair."""
+
+    workload: str
+    configuration: Configuration
+    instruction_count: int
+    cycles: int
+    cycle_breakdown: Mapping[str, int] = field(default_factory=dict)
+    icache: CacheStatistics | None = None
+    dcache: CacheStatistics | None = None
+    window_overflows: int = 0
+    window_underflows: int = 0
+
+    # -- derived metrics -------------------------------------------------------------
+
+    @property
+    def cpi(self) -> float:
+        """Average cycles per instruction."""
+        return self.cycles / self.instruction_count if self.instruction_count else 0.0
+
+    @property
+    def seconds(self) -> float:
+        """Runtime in seconds at the default platform clock."""
+        return cycles_to_seconds(self.cycles)
+
+    @property
+    def icache_miss_rate(self) -> float:
+        return self.icache.miss_rate if self.icache else 0.0
+
+    @property
+    def dcache_miss_rate(self) -> float:
+        return self.dcache.miss_rate if self.dcache else 0.0
+
+    def runtime_delta_percent(self, base: "ExecutionStatistics") -> float:
+        """Runtime change relative to a base profile, in percent.
+
+        This is the paper's rho: negative values mean the configuration is
+        faster than the base configuration.
+        """
+        if base.cycles == 0:
+            return 0.0
+        return 100.0 * (self.cycles - base.cycles) / base.cycles
+
+    def breakdown_fractions(self) -> Dict[str, float]:
+        """Cycle-breakdown categories as fractions of total cycles."""
+        total = max(1, self.cycles)
+        return {key: value / total for key, value in self.cycle_breakdown.items()}
+
+    def summary(self) -> str:
+        """One-line human readable summary used by examples and reports."""
+        return (
+            f"{self.workload}: {self.cycles} cycles, CPI {self.cpi:.2f}, "
+            f"icache miss {100 * self.icache_miss_rate:.2f}%, "
+            f"dcache miss {100 * self.dcache_miss_rate:.2f}%"
+        )

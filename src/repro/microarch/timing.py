@@ -1,0 +1,212 @@
+"""Cycle-level timing model of the LEON-like integer pipeline.
+
+The timing model replays a configuration-independent
+:class:`~repro.microarch.trace.ExecutionTrace` against one
+:class:`~repro.config.Configuration` and produces the cycle count the
+paper's profiler would report.  Every reconfigurable parameter of the
+paper's Figure 1 that affects runtime has a term here:
+
+===========================  =====================================================
+Parameter                    Timing effect
+===========================  =====================================================
+icache geometry/replacement  instruction-fetch miss penalty per icache miss
+dcache geometry/replacement  load miss penalty per dcache read miss
+dcache fast read             load hit costs 1 cycle instead of 2
+dcache fast write            store costs 1 cycle instead of 2
+fast jump                    taken-branch/call/jump penalty of 1 instead of 2
+icc hold                     removes the 1-cycle stall of a branch that
+                             immediately follows a condition-code update
+fast decode                  removes the 1-cycle decode bubble of control
+                             transfer, SETHI and window instructions
+load delay                   1-cycle load-use interlock when set to 2
+register windows             window overflow/underflow trap costs
+multiplier                   latency of UMUL/SMUL
+divider                      latency of UDIV/SDIV (software emulation when absent)
+infer mult/div               synthesis-only option: no runtime effect
+===========================  =====================================================
+
+The absolute constants are documented class attributes of
+:class:`TimingParameters`; they are chosen to give the base configuration
+a CPI in the 1.3-2.5 range LEON2 exhibits on memory-bound codes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.config.configuration import Configuration
+from repro.config.leon_space import Divider, Multiplier
+from repro.isa.instructions import OpClass
+from repro.microarch.cache import CacheStatistics
+from repro.microarch.statistics import ExecutionStatistics
+from repro.microarch.trace import ExecutionTrace
+
+__all__ = ["TimingParameters", "TimingModel", "count_window_traps"]
+
+
+@dataclass(frozen=True)
+class TimingParameters:
+    """Calibration constants of the cycle model."""
+
+    #: Cycles from a cache miss to the first word arriving from memory.
+    memory_latency: int = 6
+    #: Additional cycles per word of a cache line fill.
+    word_transfer: int = 1
+    #: Extra cycles of a data-cache load hit without the fast-read option.
+    slow_read_extra: int = 1
+    #: Extra cycles of a store without the fast-write option (write buffer).
+    slow_write_extra: int = 1
+    #: Taken branch / call / jump penalty with and without fast jump.
+    taken_penalty_fast: int = 1
+    taken_penalty_slow: int = 2
+    #: Decode bubble per "complex" instruction when fast decode is disabled.
+    slow_decode_extra: int = 1
+    #: Stall when a branch immediately follows a condition-code update and
+    #: the ICC hold/forwarding hardware is absent.
+    icc_stall: int = 1
+    #: Register-window overflow (spill) and underflow (fill) trap costs.
+    window_overflow_cost: int = 24
+    window_underflow_cost: int = 26
+    #: Extra multiply latency (cycles beyond the 1-cycle base) per implementation.
+    multiplier_extra: Tuple[Tuple[str, int], ...] = (
+        (Multiplier.NONE, 37),        # software emulation trap
+        (Multiplier.ITERATIVE, 33),
+        (Multiplier.M16X16, 3),
+        (Multiplier.M16X16_PIPE, 2),
+        (Multiplier.M32X8, 2),
+        (Multiplier.M32X16, 1),
+        (Multiplier.M32X32, 0),
+    )
+    #: Extra divide latency per implementation.
+    divider_extra: Tuple[Tuple[str, int], ...] = (
+        (Divider.RADIX2, 34),
+        (Divider.NONE, 129),          # software emulation
+    )
+
+    def multiplier_latency(self, multiplier: str) -> int:
+        return dict(self.multiplier_extra)[multiplier]
+
+    def divider_latency(self, divider: str) -> int:
+        return dict(self.divider_extra)[divider]
+
+    def line_fill_penalty(self, linesize_words: int) -> int:
+        """Cache miss penalty for a line of the given size."""
+        return self.memory_latency + self.word_transfer * linesize_words
+
+
+def count_window_traps(window_events: np.ndarray, windows: int) -> Tuple[int, int]:
+    """Count register-window overflow and underflow traps.
+
+    ``window_events`` is the +1/-1 SAVE/RESTORE sequence recorded by the
+    functional simulator; ``windows`` is the configured window count.  One
+    window is reserved (the SPARC WIM convention), so ``windows - 1``
+    nested activations fit before the first spill.
+    """
+    usable = max(1, windows - 1)
+    overflows = 0
+    underflows = 0
+    depth = 0
+    resident_base = 0
+    for event in window_events:
+        if event > 0:
+            depth += 1
+            if depth - resident_base >= usable:
+                overflows += 1
+                resident_base += 1
+        else:
+            depth -= 1
+            if depth < resident_base:
+                underflows += 1
+                resident_base -= 1
+    return overflows, underflows
+
+
+class TimingModel:
+    """Computes the cycle count of a trace on one configuration."""
+
+    def __init__(self, config: Configuration, parameters: TimingParameters | None = None):
+        self.config = config
+        self.parameters = parameters or TimingParameters()
+
+    def evaluate(
+        self,
+        trace: ExecutionTrace,
+        icache_stats: CacheStatistics,
+        dcache_stats: CacheStatistics,
+    ) -> ExecutionStatistics:
+        """Combine the trace and cache statistics into a cycle count."""
+        cfg = self.config
+        p = self.parameters
+        counts = trace.class_counts()
+        n_instr = trace.instruction_count
+
+        breakdown: Dict[str, int] = {}
+        breakdown["base"] = n_instr  # one cycle per issued instruction
+
+        # instruction fetch misses
+        icache_penalty = p.line_fill_penalty(cfg.icache_linesize_words)
+        breakdown["icache_misses"] = icache_stats.read_misses * icache_penalty
+
+        # data cache: only load misses stall (write-through, no allocate)
+        dcache_penalty = p.line_fill_penalty(cfg.dcache_linesize_words)
+        breakdown["dcache_misses"] = dcache_stats.read_misses * dcache_penalty
+
+        # load/store structural costs
+        loads = counts[OpClass.LOAD]
+        stores = counts[OpClass.STORE]
+        breakdown["load_access"] = 0 if cfg.dcache_fast_read else loads * p.slow_read_extra
+        breakdown["store_access"] = 0 if cfg.dcache_fast_write else stores * p.slow_write_extra
+
+        # load-use interlock
+        load_use = int(np.count_nonzero(trace.load_use_hazard))
+        breakdown["load_use_stalls"] = load_use * (cfg.load_delay - 1)
+
+        # multiply / divide latency
+        breakdown["multiply"] = counts[OpClass.MUL] * p.multiplier_latency(cfg.multiplier)
+        breakdown["divide"] = counts[OpClass.DIV] * p.divider_latency(cfg.divider)
+
+        # control transfer penalties
+        taken = (
+            counts[OpClass.BRANCH_TAKEN]
+            + counts[OpClass.CALL]
+            + counts[OpClass.JUMP]
+        )
+        penalty = p.taken_penalty_fast if cfg.fast_jump else p.taken_penalty_slow
+        breakdown["control_transfer"] = taken * penalty
+
+        # condition-code hazards
+        cc_hazards = int(np.count_nonzero(trace.cc_branch_hazard))
+        breakdown["icc_stalls"] = 0 if cfg.icc_hold else cc_hazards * p.icc_stall
+
+        # decode bubbles
+        complex_instrs = (
+            counts[OpClass.SETHI]
+            + counts[OpClass.SAVE]
+            + counts[OpClass.RESTORE]
+            + counts[OpClass.CALL]
+            + counts[OpClass.JUMP]
+            + counts[OpClass.BRANCH_TAKEN]
+            + counts[OpClass.BRANCH_UNTAKEN]
+        )
+        breakdown["decode"] = 0 if cfg.fast_decode else complex_instrs * p.slow_decode_extra
+
+        # register window traps
+        overflows, underflows = count_window_traps(trace.window_events, cfg.register_windows)
+        breakdown["window_traps"] = (
+            overflows * p.window_overflow_cost + underflows * p.window_underflow_cost)
+
+        cycles = int(sum(breakdown.values()))
+        return ExecutionStatistics(
+            workload=trace.name,
+            configuration=cfg,
+            instruction_count=n_instr,
+            cycles=cycles,
+            cycle_breakdown=breakdown,
+            icache=icache_stats,
+            dcache=dcache_stats,
+            window_overflows=overflows,
+            window_underflows=underflows,
+        )

@@ -1,0 +1,166 @@
+"""Execution traces produced by the functional simulator.
+
+The key property that makes the reproduction fast enough to run hundreds
+of configuration evaluations is that the *functional* behaviour of a
+program is independent of the microarchitecture configuration: caches,
+multiplier implementations and pipeline options change *when* things
+happen, never *what* happens.  The functional simulator therefore runs a
+workload once and records an :class:`ExecutionTrace`; the timing model
+then replays the trace against any number of configurations
+(trace-driven simulation).
+
+Traces are stored as NumPy arrays so the timing model can compute most of
+its cycle terms with vectorised reductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.isa.instructions import OpClass
+
+__all__ = ["ExecutionTrace", "TraceBuilder"]
+
+
+@dataclass(frozen=True)
+class ExecutionTrace:
+    """Config-independent record of one program execution."""
+
+    #: Program counter of every executed instruction.
+    pcs: np.ndarray
+    #: Timing class (:class:`~repro.isa.instructions.OpClass`) of every instruction.
+    op_classes: np.ndarray
+    #: Effective address of loads/stores (0 elsewhere).
+    mem_addrs: np.ndarray
+    #: True at loads whose immediately following instruction reads the loaded register.
+    load_use_hazard: np.ndarray
+    #: True at branches immediately preceded by a condition-code-setting instruction.
+    cc_branch_hazard: np.ndarray
+    #: +1 for every SAVE, -1 for every RESTORE/RET, in program order.
+    window_events: np.ndarray
+    #: Name of the workload/program that produced the trace (for reports).
+    name: str = "trace"
+
+    # -- derived quantities ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.pcs.shape[0])
+
+    @property
+    def instruction_count(self) -> int:
+        """Number of dynamically executed instructions."""
+        return len(self)
+
+    def class_counts(self) -> Dict[OpClass, int]:
+        """Histogram of executed instructions per timing class."""
+        counts = np.bincount(self.op_classes, minlength=len(OpClass))
+        return {op_class: int(counts[op_class.value]) for op_class in OpClass}
+
+    def count(self, op_class: OpClass) -> int:
+        """Number of executed instructions of one timing class."""
+        return int(np.count_nonzero(self.op_classes == op_class.value))
+
+    @property
+    def load_mask(self) -> np.ndarray:
+        return self.op_classes == OpClass.LOAD.value
+
+    @property
+    def store_mask(self) -> np.ndarray:
+        return self.op_classes == OpClass.STORE.value
+
+    @property
+    def memory_mask(self) -> np.ndarray:
+        return self.load_mask | self.store_mask
+
+    @property
+    def load_addresses(self) -> np.ndarray:
+        """Effective addresses of load instructions, in program order."""
+        return self.mem_addrs[self.load_mask]
+
+    @property
+    def store_addresses(self) -> np.ndarray:
+        """Effective addresses of store instructions, in program order."""
+        return self.mem_addrs[self.store_mask]
+
+    @property
+    def data_addresses(self) -> np.ndarray:
+        """Addresses of all data accesses (loads and stores), in program order."""
+        return self.mem_addrs[self.memory_mask]
+
+    @property
+    def data_is_write(self) -> np.ndarray:
+        """Write flags aligned with :attr:`data_addresses`."""
+        return self.store_mask[self.memory_mask]
+
+    def mix_summary(self) -> Dict[str, float]:
+        """Instruction-mix fractions used in workload characterisation reports."""
+        total = max(1, self.instruction_count)
+        counts = self.class_counts()
+        loads = counts[OpClass.LOAD]
+        stores = counts[OpClass.STORE]
+        branches = counts[OpClass.BRANCH_TAKEN] + counts[OpClass.BRANCH_UNTAKEN]
+        muldiv = counts[OpClass.MUL] + counts[OpClass.DIV]
+        return {
+            "instructions": float(total),
+            "load_fraction": loads / total,
+            "store_fraction": stores / total,
+            "memory_fraction": (loads + stores) / total,
+            "branch_fraction": branches / total,
+            "muldiv_fraction": muldiv / total,
+        }
+
+
+class TraceBuilder:
+    """Accumulates per-instruction records and produces an :class:`ExecutionTrace`."""
+
+    def __init__(self, name: str = "trace"):
+        self.name = name
+        self._pcs: list[int] = []
+        self._op_classes: list[int] = []
+        self._mem_addrs: list[int] = []
+        self._load_use: list[bool] = []
+        self._cc_hazard: list[bool] = []
+        self._window_events: list[int] = []
+
+    def append(self, pc: int, op_class: OpClass, mem_addr: int = 0) -> int:
+        """Record one executed instruction; returns its trace index."""
+        self._pcs.append(pc)
+        self._op_classes.append(int(op_class))
+        self._mem_addrs.append(mem_addr)
+        self._load_use.append(False)
+        self._cc_hazard.append(False)
+        return len(self._pcs) - 1
+
+    def mark_load_use(self, index: int) -> None:
+        """Mark the load at ``index`` as having a load-use dependency."""
+        self._load_use[index] = True
+
+    def mark_cc_hazard(self, index: int) -> None:
+        """Mark the branch at ``index`` as depending on the immediately preceding CC update."""
+        self._cc_hazard[index] = True
+
+    def set_op_class(self, index: int, op_class: OpClass) -> None:
+        """Reclassify an instruction (used to mark taken branches)."""
+        self._op_classes[index] = int(op_class)
+
+    def window_event(self, delta: int) -> None:
+        """Record a register-window push (+1) or pop (-1)."""
+        self._window_events.append(delta)
+
+    def __len__(self) -> int:
+        return len(self._pcs)
+
+    def build(self) -> ExecutionTrace:
+        """Freeze the accumulated records into an immutable trace."""
+        return ExecutionTrace(
+            pcs=np.asarray(self._pcs, dtype=np.uint32),
+            op_classes=np.asarray(self._op_classes, dtype=np.uint8),
+            mem_addrs=np.asarray(self._mem_addrs, dtype=np.uint32),
+            load_use_hazard=np.asarray(self._load_use, dtype=bool),
+            cc_branch_hazard=np.asarray(self._cc_hazard, dtype=bool),
+            window_events=np.asarray(self._window_events, dtype=np.int8),
+            name=self.name,
+        )

@@ -1,0 +1,124 @@
+"""The Liquid Architecture measurement platform (simulation-backed).
+
+The paper's Liquid Architecture platform instantiates a LEON2 processor
+configuration on the FPGA, runs the application directly on it and uses a
+hardware cycle counter to report the runtime; synthesis reports provide
+the chip resources.  :class:`LiquidPlatform` provides the same black-box
+"build and measure" interface on top of our substrates:
+
+* *build* = run the analytic synthesis model (instead of a ~30-minute
+  FPGA synthesis run);
+* *measure* = replay the workload's configuration-independent execution
+  trace through the cache and pipeline timing models (instead of a
+  multi-second/minute run on real hardware).
+
+Builds and measurements are memoised exactly like the real platform
+caches bitstreams: the campaign asks for many configurations that share
+cache geometries, and re-simulating them would dominate the cost of the
+experiments.  The platform also counts how many *distinct* builds and
+runs were needed, which is the quantity the paper's scalability argument
+(linear versus exponential) is about.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.config.configuration import Configuration
+from repro.errors import MeasurementError
+from repro.fpga.device import FpgaDevice, XCV2000E
+from repro.fpga.report import ResourceReport
+from repro.fpga.synthesis import SynthesisModel
+from repro.microarch.cache import Cache, CacheConfig, CacheStatistics
+from repro.microarch.statistics import ExecutionStatistics
+from repro.microarch.timing import TimingModel, TimingParameters
+from repro.platform.measurement import Measurement
+from repro.workloads.base import Workload
+
+__all__ = ["LiquidPlatform"]
+
+
+class LiquidPlatform:
+    """Black-box build-and-measure service used by the optimisation campaign."""
+
+    def __init__(
+        self,
+        device: FpgaDevice = XCV2000E,
+        synthesis_model: Optional[SynthesisModel] = None,
+        timing_parameters: Optional[TimingParameters] = None,
+        *,
+        enforce_fit: bool = True,
+    ):
+        self.device = device
+        self.synthesis = synthesis_model or SynthesisModel(device)
+        self.timing_parameters = timing_parameters or TimingParameters()
+        self.enforce_fit = enforce_fit
+        # memoisation stores
+        self._builds: Dict[Tuple, ResourceReport] = {}
+        self._runs: Dict[Tuple, ExecutionStatistics] = {}
+        self._cache_runs: Dict[Tuple, CacheStatistics] = {}
+        # effort accounting
+        self.build_count = 0
+        self.run_count = 0
+
+    # -- synthesis ------------------------------------------------------------------------
+
+    def build(self, config: Configuration) -> ResourceReport:
+        """Synthesise a configuration (memoised)."""
+        key = config.key()
+        if key not in self._builds:
+            report = self.synthesis.synthesize(config)
+            if self.enforce_fit and not report.fits():
+                raise MeasurementError(
+                    f"configuration does not fit on {self.device.name}: {report.summary()}")
+            self._builds[key] = report
+            self.build_count += 1
+        return self._builds[key]
+
+    def fits(self, config: Configuration) -> bool:
+        """True when the configuration can be built on the platform's device."""
+        return self.synthesis.synthesize(config).fits()
+
+    # -- execution -------------------------------------------------------------------------
+
+    def _cache_statistics(
+        self, workload: Workload, config: Configuration
+    ) -> Tuple[CacheStatistics, CacheStatistics]:
+        trace = workload.trace()
+        icache_cfg = CacheConfig.icache_from(config)
+        dcache_cfg = CacheConfig.dcache_from(config)
+        ikey = (workload.name, "icache", icache_cfg)
+        dkey = (workload.name, "dcache", dcache_cfg)
+        if ikey not in self._cache_runs:
+            self._cache_runs[ikey] = Cache(icache_cfg).simulate(trace.pcs)
+        if dkey not in self._cache_runs:
+            self._cache_runs[dkey] = Cache(dcache_cfg).simulate(
+                trace.data_addresses, trace.data_is_write)
+        return self._cache_runs[ikey], self._cache_runs[dkey]
+
+    def profile(self, workload: Workload, config: Configuration) -> ExecutionStatistics:
+        """Cycle-accurate profile of ``workload`` on ``config`` (memoised)."""
+        key = (workload.name, config.key())
+        if key not in self._runs:
+            cache_stats = self._cache_statistics(workload, config)
+            timing = TimingModel(config, self.timing_parameters)
+            self._runs[key] = timing.evaluate(workload.trace(), *cache_stats)
+            self.run_count += 1
+        return self._runs[key]
+
+    # -- combined measurement -------------------------------------------------------------------
+
+    def measure(self, workload: Workload, config: Configuration) -> Measurement:
+        """Build ``config`` and run ``workload`` on it."""
+        resources = self.build(config)
+        statistics = self.profile(workload, config)
+        return Measurement(
+            workload=workload.name,
+            configuration=config,
+            resources=resources,
+            statistics=statistics,
+        )
+
+    def effort(self) -> Dict[str, int]:
+        """Distinct builds and runs performed so far (scalability accounting)."""
+        return {"builds": self.build_count, "runs": self.run_count}

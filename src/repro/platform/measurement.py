@@ -1,0 +1,85 @@
+"""Measurement records returned by the Liquid platform.
+
+A :class:`Measurement` bundles everything the paper's campaign extracts
+from one (configuration, application) pair: the synthesis resource report
+(LUT/BRAM utilisation) and the cycle-accurate runtime profile.  The
+convenience delta methods compute the paper's rho (runtime %), lambda
+(LUT %) and beta (BRAM %) values relative to a base measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.config.configuration import Configuration
+from repro.fpga.report import ResourceReport
+from repro.microarch.statistics import ExecutionStatistics
+
+__all__ = ["Measurement", "CostDelta"]
+
+
+@dataclass(frozen=True)
+class CostDelta:
+    """Per-perturbation cost deltas relative to the base configuration."""
+
+    #: Runtime delta in percent of the base runtime (the paper's rho_i).
+    rho: float
+    #: LUT utilisation delta in percentage points (the paper's lambda_i).
+    lam: float
+    #: BRAM utilisation delta in percentage points (the paper's beta_i).
+    beta: float
+
+    @property
+    def chip(self) -> float:
+        """Combined chip-resource delta (lambda + beta), the paper's chip cost term."""
+        return self.lam + self.beta
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Resources and runtime of one workload on one configuration."""
+
+    workload: str
+    configuration: Configuration
+    resources: ResourceReport
+    statistics: ExecutionStatistics
+
+    # -- absolute values --------------------------------------------------------------
+
+    @property
+    def cycles(self) -> int:
+        return self.statistics.cycles
+
+    @property
+    def seconds(self) -> float:
+        return self.statistics.seconds
+
+    @property
+    def lut_percent(self) -> float:
+        return self.resources.lut_percent
+
+    @property
+    def bram_percent(self) -> float:
+        return self.resources.bram_percent
+
+    @property
+    def chip_cost(self) -> float:
+        return self.resources.chip_cost
+
+    # -- deltas ---------------------------------------------------------------------------
+
+    def delta(self, base: "Measurement") -> CostDelta:
+        """rho/lambda/beta of this measurement relative to ``base``."""
+        rho = self.statistics.runtime_delta_percent(base.statistics)
+        resource_delta = self.resources.delta_percent(base.resources)
+        return CostDelta(rho=rho, lam=resource_delta["lut"], beta=resource_delta["bram"])
+
+    def summary(self) -> Dict[str, float]:
+        """Row-ready summary used by the experiment tables."""
+        return {
+            "cycles": float(self.cycles),
+            "seconds": self.seconds,
+            "lut_percent": self.lut_percent,
+            "bram_percent": self.bram_percent,
+        }

@@ -1,0 +1,85 @@
+"""BYTE Arith benchmark (Benchmark IV of the paper).
+
+Arith performs simple additions, multiplications and divisions in a loop;
+it is used to test processor speed for arithmetic and is explicitly *not*
+memory intensive (paper, Section 2.5).  Consequently its runtime is
+sensitive to the multiplier and divider implementations and insensitive
+to the data-cache geometry -- the property the paper's Figure 4 relies on
+("No effect, as application is not data intensive").
+
+The loop body is fixed; the iteration count scales the dynamic
+instruction count.  All arithmetic wraps at 32 bits exactly as the
+simulated processor does, so the Python reference matches bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.isa.assembler import Assembler
+from repro.isa.program import Program
+from repro.microarch.functional import SimulationResult
+from repro.workloads.base import Workload
+
+__all__ = ["ArithWorkload"]
+
+_MASK32 = 0xFFFFFFFF
+
+
+class ArithWorkload(Workload):
+    """Tight arithmetic loop exercising the ALU, multiplier and divider."""
+
+    name = "arith"
+    description = "BYTE Arith: additions, multiplications and divisions in a loop"
+    characterization = "computation intensive, not memory intensive"
+
+    def __init__(self, iterations: int = 4000, **kwargs):
+        super().__init__(**kwargs)
+        if iterations < 1:
+            raise ValueError("iterations must be positive")
+        self.iterations = iterations
+
+    # -- program ------------------------------------------------------------------
+
+    def build_program(self) -> Program:
+        asm = Assembler(self.name)
+        asm.label("start")
+        asm.set("g1", self.iterations)   # loop counter
+        asm.set("g2", 1)                 # a
+        asm.set("g3", 7)                 # b
+        asm.set("g4", 123_456)           # c
+        asm.set("g5", 0)                 # d
+        asm.label("loop")
+        asm.add("g2", "g2", 3)           # a += 3
+        asm.smul("g3", "g3", "g2")       # b *= a            (hardware multiply)
+        asm.add("g4", "g4", "g3")        # c += b
+        asm.udiv("g5", "g4", 7)          # d = c / 7          (hardware divide)
+        asm.sub("g4", "g4", "g5")        # c -= d
+        asm.xor("g3", "g3", "g5")        # b ^= d (keeps b from collapsing to zero)
+        asm.or_("g3", "g3", 1)           # keep b odd so the product stays non-trivial
+        asm.subcc("g1", "g1", 1)
+        asm.bne("loop")
+        asm.halt()
+        return asm.assemble()
+
+    # -- reference ------------------------------------------------------------------
+
+    def reference(self) -> Mapping[str, int]:
+        a, b, c, d = 1, 7, 123_456, 0
+        for _ in range(self.iterations):
+            a = (a + 3) & _MASK32
+            b = (b * a) & _MASK32
+            c = (c + b) & _MASK32
+            d = c // 7
+            c = (c - d) & _MASK32
+            b = (b ^ d) & _MASK32
+            b |= 1
+        return {"a": a, "b": b, "c": c, "d": d}
+
+    def extract_results(self, result: SimulationResult) -> Dict[str, int]:
+        return {
+            "a": result.register("g2"),
+            "b": result.register("g3"),
+            "c": result.register("g4"),
+            "d": result.register("g5"),
+        }

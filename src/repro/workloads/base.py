@@ -1,0 +1,104 @@
+"""Workload abstractions.
+
+A workload is one of the paper's benchmark applications: it knows how to
+build its program (via the assembler DSL), how to generate its synthetic
+input data, what results the program is expected to produce (computed
+independently in Python) and how to extract those results from a finished
+simulation for verification.
+
+The functional execution of a workload is configuration independent, so
+the resulting :class:`~repro.microarch.trace.ExecutionTrace` is cached on
+the workload instance and shared by every configuration evaluation -- this
+is what makes the measurement campaign cheap enough to run hundreds of
+configuration evaluations.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Mapping, Optional
+
+from repro.errors import VerificationError
+from repro.isa.program import Program
+from repro.microarch.functional import FunctionalSimulator, SimulationResult
+from repro.microarch.trace import ExecutionTrace
+
+__all__ = ["Workload"]
+
+
+class Workload(ABC):
+    """One benchmark application with synthetic inputs and a reference output."""
+
+    #: Short identifier used in tables (e.g. ``"blastn"``).
+    name: str = "workload"
+    #: One-line description for reports.
+    description: str = ""
+    #: The paper's characterisation ("memory-access intensive", "computation intensive").
+    characterization: str = ""
+
+    def __init__(self, *, max_instructions: int = 2_000_000):
+        self.max_instructions = max_instructions
+        self._program: Optional[Program] = None
+        self._result: Optional[SimulationResult] = None
+
+    # -- to be provided by concrete workloads -----------------------------------------
+
+    @abstractmethod
+    def build_program(self) -> Program:
+        """Assemble the workload program (called once and cached)."""
+
+    @abstractmethod
+    def reference(self) -> Mapping[str, int]:
+        """Expected observable results, computed independently in Python."""
+
+    @abstractmethod
+    def extract_results(self, result: SimulationResult) -> Mapping[str, int]:
+        """Observable results of a finished simulation (same keys as :meth:`reference`)."""
+
+    # -- cached execution -----------------------------------------------------------------
+
+    @property
+    def program(self) -> Program:
+        """The assembled program (built lazily, cached)."""
+        if self._program is None:
+            self._program = self.build_program()
+        return self._program
+
+    def run_functional(self, *, force: bool = False) -> SimulationResult:
+        """Execute the workload functionally (cached across calls)."""
+        if self._result is None or force:
+            simulator = FunctionalSimulator(self.program, max_instructions=self.max_instructions)
+            self._result = simulator.run(trace_name=self.name)
+        return self._result
+
+    def trace(self) -> ExecutionTrace:
+        """The configuration-independent execution trace of this workload."""
+        return self.run_functional().trace
+
+    # -- verification ------------------------------------------------------------------------
+
+    def verify(self, result: Optional[SimulationResult] = None) -> Dict[str, int]:
+        """Check the simulation results against the Python reference.
+
+        Returns the extracted results on success and raises
+        :class:`~repro.errors.VerificationError` on the first mismatch.
+        """
+        result = result or self.run_functional()
+        expected = dict(self.reference())
+        actual = dict(self.extract_results(result))
+        for key, value in expected.items():
+            if key not in actual:
+                raise VerificationError(f"{self.name}: result {key!r} missing from simulation")
+            if actual[key] != value:
+                raise VerificationError(
+                    f"{self.name}: result {key!r} mismatch: expected {value}, got {actual[key]}")
+        return actual
+
+    # -- reporting ------------------------------------------------------------------------------
+
+    def mix_summary(self) -> Dict[str, float]:
+        """Instruction-mix characterisation of the workload."""
+        return self.trace().mix_summary()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

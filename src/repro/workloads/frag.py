@@ -1,0 +1,279 @@
+"""CommBench FRAG benchmark (Benchmark III of the paper).
+
+FRAG is IP packet fragmentation: each input packet is split into
+MTU-sized fragments; every fragment gets a copy of the IP header with the
+length, flags and fragment-offset fields adjusted and the header checksum
+recomputed, and the corresponding slice of the payload is copied to the
+output buffer (paper, Section 2.5: "computation intensive").
+
+Inputs are a synthetic packet trace; payload lengths are multiples of
+four bytes so the copy loop can move whole words (the real CommBench
+kernel does the same word-wise copy).  The workload is verified by
+comparing the fragment count, the running sum of all fragment header
+checksums and the number of payload bytes copied against a bit-exact
+Python reference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.isa.assembler import Assembler
+from repro.isa.program import MemoryLayout, Program
+from repro.microarch.functional import SimulationResult
+from repro.workloads.base import Workload
+from repro.workloads.data import make_packet_trace
+
+__all__ = ["FragWorkload"]
+
+_MASK32 = 0xFFFFFFFF
+_IP_HEADER_BYTES = 20
+_IP_HEADER_HALFWORDS = 10
+#: "More fragments" flag in the flags/offset halfword.
+_MF_FLAG = 0x2000
+
+
+def _checksum(halfwords: List[int]) -> int:
+    """RFC 791 one's-complement header checksum over 16-bit fields."""
+    total = sum(h & 0xFFFF for h in halfwords)
+    total = (total & 0xFFFF) + (total >> 16)
+    total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+class FragWorkload(Workload):
+    """IP fragmentation over a synthetic packet trace."""
+
+    name = "frag"
+    description = "CommBench FRAG: IP packet fragmentation with header checksums"
+    characterization = "computation intensive, streaming memory"
+
+    def __init__(
+        self,
+        packet_count: int = 48,
+        mtu: int = 276,
+        seed: int = 424242,
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        if mtu <= _IP_HEADER_BYTES or (mtu - _IP_HEADER_BYTES) % 8:
+            raise ValueError("MTU must leave a payload chunk that is a multiple of 8 bytes")
+        self.packet_count = packet_count
+        self.mtu = mtu
+        self.chunk = mtu - _IP_HEADER_BYTES
+        self.seed = seed
+        self._packets = self._generate_packets()
+
+    # -- synthetic inputs ----------------------------------------------------------------
+
+    def _generate_packets(self) -> List[Tuple[List[int], bytes]]:
+        """Per packet: the 10 header halfwords and the payload bytes."""
+        trace = make_packet_trace(self.packet_count, seed=self.seed,
+                                  minimum_length=64, maximum_length=1204)
+        rng = np.random.default_rng(self.seed + 1)
+        packets: List[Tuple[List[int], bytes]] = []
+        for i in range(self.packet_count):
+            payload_len = int(trace.lengths[i])
+            payload_len -= payload_len % 4          # keep the copy loop word aligned
+            payload_len = max(payload_len, 64)
+            total_length = payload_len + _IP_HEADER_BYTES
+            src = int(trace.source_addresses[i])
+            dst = int(trace.destination_addresses[i])
+            header = [
+                0x4500,                      # version/IHL/TOS
+                total_length & 0xFFFF,       # total length
+                (0x3000 + i) & 0xFFFF,       # identification
+                0x0000,                      # flags / fragment offset
+                (64 << 8) | 17,              # TTL / protocol (UDP)
+                0x0000,                      # header checksum (filled per fragment)
+                (src >> 16) & 0xFFFF, src & 0xFFFF,
+                (dst >> 16) & 0xFFFF, dst & 0xFFFF,
+            ]
+            payload = bytes(int(v) for v in rng.integers(0, 256, size=payload_len))
+            packets.append((header, payload))
+        return packets
+
+    # -- program --------------------------------------------------------------------------
+
+    def build_program(self) -> Program:
+        total_output = sum(
+            ((len(payload) + self.chunk - 1) // self.chunk) * self.mtu
+            for _, payload in self._packets)
+        total_input = sum(_IP_HEADER_BYTES + len(payload) for _, payload in self._packets)
+        needed = 0x0008_0000 + total_input + total_output + 4096
+        layout = MemoryLayout(memory_size=max(0x0020_0000, (needed + 0xFFFF) & ~0xFFFF | 0))
+        asm = Assembler(self.name, layout=layout)
+
+        # ---- data segment -------------------------------------------------------------
+        asm.data_label("results")
+        asm.word_data([0, 0, 0])
+        asm.data_label("input")
+        for header, payload in self._packets:
+            asm.half_data(header)
+            asm.byte_data(payload)
+        asm.align(4)
+        asm.data_label("output")
+        asm.zeros(total_output)
+
+        # ---- main ------------------------------------------------------------------------
+        asm.label("start")
+        asm.set("g1", "input")       # input packet pointer
+        asm.set("g2", "output")      # output fragment pointer
+        asm.set("g3", self.packet_count)
+        asm.set("g5", 0)             # fragment count
+        asm.set("g6", 0)             # checksum accumulator
+        asm.set("g7", 0)             # payload bytes copied
+        asm.label("packet_loop")
+        asm.cmp("g3", 0)
+        asm.be("finish")
+        asm.call("process_packet")
+        asm.sub("g3", "g3", 1)
+        asm.ba("packet_loop")
+        asm.label("finish")
+        asm.set("o0", "results")
+        asm.st("g5", "o0", 0)
+        asm.st("g6", "o0", 4)
+        asm.st("g7", "o0", 8)
+        asm.halt()
+
+        # ---- per-packet fragmentation (uses a register window) ----------------------------
+        asm.label("process_packet")
+        asm.save(96)
+        asm.lduh("l0", "g1", 2)              # total length
+        asm.sub("l0", "l0", _IP_HEADER_BYTES)  # payload length
+        asm.mov("l1", "l0")                  # remaining payload
+        asm.add("l2", "g1", _IP_HEADER_BYTES)  # source payload pointer
+        asm.set("l3", 0)                     # fragment offset in 8-byte units
+        asm.label("frag_loop")
+        asm.set("l4", self.chunk)
+        asm.cmp("l1", "l4")
+        asm.bge("chunk_ready")
+        asm.mov("l4", "l1")                  # last fragment: chunk = remaining
+        asm.label("chunk_ready")
+        # more-fragments flag
+        asm.set("l7", 0)
+        asm.cmp("l1", "l4")
+        asm.ble("no_more_flag")
+        asm.set("l7", _MF_FLAG)
+        asm.label("no_more_flag")
+        # build the fragment header at the output pointer (g2)
+        asm.lduh("o1", "g1", 0)
+        asm.sth("o1", "g2", 0)               # version/IHL/TOS
+        asm.add("o1", "l4", _IP_HEADER_BYTES)
+        asm.sth("o1", "g2", 2)               # fragment total length
+        asm.lduh("o1", "g1", 4)
+        asm.sth("o1", "g2", 4)               # identification
+        asm.or_("o1", "l7", "l3")
+        asm.sth("o1", "g2", 6)               # flags / fragment offset
+        asm.lduh("o1", "g1", 8)
+        asm.sth("o1", "g2", 8)               # TTL / protocol
+        asm.sth("g0", "g2", 10)              # checksum field zeroed before summing
+        asm.lduh("o1", "g1", 12)
+        asm.sth("o1", "g2", 12)
+        asm.lduh("o1", "g1", 14)
+        asm.sth("o1", "g2", 14)
+        asm.lduh("o1", "g1", 16)
+        asm.sth("o1", "g2", 16)
+        asm.lduh("o1", "g1", 18)
+        asm.sth("o1", "g2", 18)
+        # checksum over the freshly built header
+        asm.mov("o0", "g2")
+        asm.call("checksum")
+        asm.sth("o0", "g2", 10)
+        asm.add("g6", "g6", "o0")            # accumulate checksums (32-bit wrap)
+        # copy the payload chunk word by word
+        asm.add("o1", "g2", _IP_HEADER_BYTES)  # destination
+        asm.mov("o2", "l2")                    # source
+        asm.srl("o3", "l4", 2)                 # words to copy
+        asm.label("copy_loop")
+        asm.cmp("o3", 0)
+        asm.be("copy_done")
+        asm.ld("o4", "o2", 0)
+        asm.st("o4", "o1", 0)
+        asm.add("o2", "o2", 4)
+        asm.add("o1", "o1", 4)
+        asm.sub("o3", "o3", 1)
+        asm.ba("copy_loop")
+        asm.label("copy_done")
+        # bookkeeping
+        asm.add("g5", "g5", 1)               # fragment count
+        asm.add("g7", "g7", "l4")            # payload bytes copied
+        asm.add("g2", "g2", _IP_HEADER_BYTES)
+        asm.add("g2", "g2", "l4")            # advance output pointer
+        asm.add("l2", "l2", "l4")            # advance source pointer
+        asm.srl("o1", "l4", 3)
+        asm.add("l3", "l3", "o1")            # advance fragment offset (8-byte units)
+        asm.subcc("l1", "l1", "l4")
+        asm.bg("frag_loop")
+        # advance the global input pointer past header + payload
+        asm.add("g1", "g1", _IP_HEADER_BYTES)
+        asm.add("g1", "g1", "l0")
+        asm.ret()
+
+        # ---- leaf function: RFC 791 header checksum over 10 halfwords ------------------------
+        asm.label("checksum")
+        asm.set("o1", 0)
+        asm.set("o2", _IP_HEADER_HALFWORDS)
+        asm.mov("o5", "o0")
+        asm.label("ck_loop")
+        asm.lduh("o3", "o5", 0)
+        asm.add("o1", "o1", "o3")
+        asm.add("o5", "o5", 2)
+        asm.subcc("o2", "o2", 1)
+        asm.bne("ck_loop")
+        asm.set("o4", 0xFFFF)
+        asm.srl("o3", "o1", 16)
+        asm.and_("o1", "o1", "o4")
+        asm.add("o1", "o1", "o3")
+        asm.srl("o3", "o1", 16)
+        asm.and_("o1", "o1", "o4")
+        asm.add("o1", "o1", "o3")
+        asm.xor("o0", "o1", "o4")
+        asm.and_("o0", "o0", "o4")
+        asm.retl()
+
+        return asm.assemble()
+
+    # -- reference ---------------------------------------------------------------------------
+
+    def reference(self) -> Mapping[str, int]:
+        fragment_count = 0
+        checksum_sum = 0
+        bytes_copied = 0
+        for header, payload in self._packets:
+            remaining = len(payload)
+            offset_units = 0
+            while remaining > 0:
+                chunk = min(remaining, self.chunk)
+                more = _MF_FLAG if remaining > chunk else 0
+                frag_header = [
+                    header[0],
+                    (chunk + _IP_HEADER_BYTES) & 0xFFFF,
+                    header[2],
+                    more | offset_units,
+                    header[4],
+                    0,
+                    header[6], header[7], header[8], header[9],
+                ]
+                checksum = _checksum(frag_header)
+                checksum_sum = (checksum_sum + checksum) & _MASK32
+                bytes_copied += chunk
+                fragment_count += 1
+                offset_units += chunk // 8
+                remaining -= chunk
+        return {
+            "fragment_count": fragment_count,
+            "checksum_sum": checksum_sum,
+            "bytes_copied": bytes_copied,
+        }
+
+    def extract_results(self, result: SimulationResult) -> Dict[str, int]:
+        base = result.memory  # results live at the start of the data segment
+        results_addr = self.program.address_of("results")
+        return {
+            "fragment_count": base.load_word(results_addr),
+            "checksum_sum": base.load_word(results_addr + 4),
+            "bytes_copied": base.load_word(results_addr + 8),
+        }

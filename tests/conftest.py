@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite.
+
+The fixtures provide scaled-down workloads (fast functional simulation)
+and a shared measurement platform so that expensive campaign runs are
+memoised across tests within a session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import base_configuration, leon_parameter_space
+from repro.platform import LiquidPlatform
+from repro.workloads import ArithWorkload, BlastnWorkload, DrrWorkload, FragWorkload
+
+
+@pytest.fixture(scope="session")
+def space():
+    return leon_parameter_space()
+
+
+@pytest.fixture(scope="session")
+def base_config():
+    return base_configuration()
+
+
+@pytest.fixture(scope="session")
+def platform():
+    return LiquidPlatform()
+
+
+@pytest.fixture(scope="session")
+def arith_small():
+    return ArithWorkload(iterations=200)
+
+
+@pytest.fixture(scope="session")
+def blastn_small():
+    return BlastnWorkload(database_length=1200, query_length=48, query_count=1)
+
+
+@pytest.fixture(scope="session")
+def drr_small():
+    return DrrWorkload(packet_count=150)
+
+
+@pytest.fixture(scope="session")
+def frag_small():
+    return FragWorkload(packet_count=4)
+
+
+@pytest.fixture(scope="session")
+def small_workload_map(arith_small, blastn_small, drr_small, frag_small):
+    return {
+        "arith": arith_small,
+        "blastn": blastn_small,
+        "drr": drr_small,
+        "frag": frag_small,
+    }

@@ -1,0 +1,147 @@
+"""Tests for the analysis tables, experiment drivers and paper comparisons."""
+
+import pytest
+
+from repro.analysis import (
+    PAPER_CLAIMS,
+    Table,
+    approximation_ablation,
+    dcache_exhaustive,
+    dcache_optimizer,
+    dcache_study,
+    headline_comparison,
+    parameter_space_summary,
+    perturbation_costs,
+    resource_optimization,
+    runtime_optimization,
+    scalability_study,
+    solver_ablation,
+)
+from repro.platform import LiquidPlatform
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return LiquidPlatform()
+
+
+@pytest.fixture(scope="module")
+def workloads(small_workload_map):
+    return small_workload_map
+
+
+@pytest.fixture(scope="module")
+def fig5(platform, workloads):
+    return runtime_optimization(platform, workloads)
+
+
+@pytest.fixture(scope="module")
+def fig7(platform, workloads, fig5):
+    return resource_optimization(platform, workloads, models=fig5.data["models"])
+
+
+class TestTable:
+    def test_render_and_markdown(self):
+        table = Table("T", ["a", "b"])
+        table.add_row([1, 2.5])
+        table.add_mapping({"a": "x", "b": "y"})
+        text = table.render()
+        assert "T" in text and "2.50" in text and "x" in text
+        markdown = table.to_markdown()
+        assert markdown.count("|") >= 8
+        assert table.as_dicts()[0] == {"a": "1", "b": "2.50"}
+
+    def test_row_length_checked(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_missing_mapping_key_becomes_dash(self):
+        table = Table("T", ["a", "b"])
+        table.add_mapping({"a": 1})
+        assert table.as_dicts()[0]["b"] == "-"
+
+
+class TestFigure1:
+    def test_parameter_space_summary(self):
+        result = parameter_space_summary()
+        assert result.data["perturbations"] == 53
+        assert result.data["exhaustive"] > 10**8
+        assert len(result.table("LEON reconfigurable").rows) == 18
+
+
+class TestDcacheExperiments:
+    def test_figure2_rows_are_feasible_and_complete(self, platform, workloads):
+        result = dcache_exhaustive(platform, workloads["arith"])
+        rows = result.data["rows"]
+        # 4 set counts x 6 sizes minus the combinations that exceed the device BRAM
+        assert 15 <= len(rows) < 24
+        assert all(row["bram_percent"] <= 100.0 for row in rows)
+        best = result.data["best"]
+        assert best["cycles"] == min(row["cycles"] for row in rows)
+
+    def test_figure3_optimizer_evaluates_linear_number_of_configs(self, platform, workloads):
+        result = dcache_optimizer(platform, workloads["frag"])
+        assert result.data["configurations_evaluated"] == 8  # 3 sets + 5 sizes
+        assert result.data["selected_cycles"] <= result.data["base_cycles"]
+
+    def test_figure4_optimizer_is_near_optimal(self, platform, workloads):
+        result = dcache_study(platform, workloads)
+        for name, values in result.data.items():
+            assert values["optimality_gap_percent"] <= 1.0, name
+        assert set(result.data) == set(workloads)
+
+
+class TestOptimizationStudies:
+    def test_figure5_every_workload_improves(self, fig5):
+        for name, gain in fig5.data["gains"].items():
+            assert gain["actual_gain_percent"] > 0, name
+
+    def test_figure5_tables_cover_all_workloads(self, fig5, workloads):
+        header = fig5.table("Actual synthesis").columns
+        assert set(workloads) <= set(header)
+
+    def test_figure7_saves_resources(self, fig7):
+        for name, gain in fig7.data["gains"].items():
+            assert gain["lut_delta"] < 0, name
+            assert gain["bram_delta"] < 0, name
+
+    def test_figure6_lists_selected_perturbations(self, fig5):
+        result = perturbation_costs(fig5.data["results"]["drr"])
+        rows = result.data["rows"]
+        assert rows, "the runtime optimisation should change at least one parameter"
+        assert all("perturbation" in row for row in rows)
+
+    def test_headline_comparison_structure(self, fig5, fig7, platform, workloads):
+        dcache = dcache_study(platform, workloads)
+        result = headline_comparison(fig5, fig7, dcache)
+        checks = result.data["checks"]
+        assert len(checks) == 5
+        claims = {c.claim for c in checks}
+        assert any("near-optimal" in c for c in claims)
+        # the scaled-down test workloads still reproduce the core claims
+        core = [c for c in checks if "near-optimal" in c.claim or "improves" in c.claim]
+        assert all(c.holds for c in core)
+
+
+class TestAblationsAndScalability:
+    def test_scalability_study_counts_linear_campaign(self, workloads):
+        result = scalability_study(LiquidPlatform(), workloads["arith"])
+        assert result.data["builds"] <= result.data["variables"] + 1
+        assert result.data["exhaustive"] > 10**6 * result.data["builds"]
+
+    def test_approximation_ablation_reports_errors(self, fig5):
+        result = approximation_ablation(fig5.data["results"]["drr"])
+        assert set(result.data["errors"]) == {
+            "runtime_percent_error", "lut_error_linear", "lut_error_nonlinear",
+            "bram_error_linear", "bram_error_nonlinear"}
+
+    def test_solver_ablation_branch_and_bound_wins(self, fig5):
+        result = solver_ablation(fig5.data["models"]["drr"])
+        data = result.data
+        assert data["branch-and-bound"]["objective"] <= data["greedy"]["objective"] + 1e-9
+        assert data["branch-and-bound"]["objective"] <= data["random-search"]["objective"] + 1e-9
+
+    def test_paper_claims_constants(self):
+        assert PAPER_CLAIMS["runtime_gain_range_percent"] == (6.15, 19.39)
+        assert set(PAPER_CLAIMS["runtime_gain_percent"]) == {"blastn", "drr", "frag", "arith"}

@@ -1,0 +1,36 @@
+"""Top-level API and error-hierarchy tests."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_objects_compose(self):
+        platform = repro.LiquidPlatform()
+        base = repro.base_configuration()
+        report = platform.build(base)
+        assert report.fits()
+        space = repro.PerturbationSpace(repro.leon_parameter_space())
+        assert len(space) == 53
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in ("ConfigurationError", "ResourceError", "AssemblyError",
+                     "SimulationError", "OptimizationError", "MeasurementError",
+                     "VerificationError"):
+            error_type = getattr(errors, name)
+            assert issubclass(error_type, errors.ReproError)
+
+    def test_errors_are_catchable_as_repro_error(self):
+        with pytest.raises(errors.ReproError):
+            repro.leon_parameter_space()["not_a_parameter"]

@@ -1,0 +1,156 @@
+"""Tests for the assembler DSL and program images."""
+
+import pytest
+
+from repro.errors import AssemblyError, SimulationError
+from repro.isa import Assembler, MemoryLayout, Op, Program
+from repro.isa.encoding import INSTRUCTION_BYTES
+
+
+class TestLabelsAndBranches:
+    def test_forward_and_backward_labels_resolve(self):
+        asm = Assembler("t")
+        asm.label("start")
+        asm.ba("end")          # forward reference
+        asm.label("mid")
+        asm.ba("start")        # backward reference
+        asm.label("end")
+        asm.halt()
+        program = asm.assemble()
+        assert program.instructions[0].target == program.address_of("end")
+        assert program.instructions[1].target == program.address_of("start")
+
+    def test_undefined_label_raises_at_assembly(self):
+        asm = Assembler("t")
+        asm.ba("nowhere")
+        with pytest.raises(AssemblyError):
+            asm.assemble()
+
+    def test_duplicate_label_rejected(self):
+        asm = Assembler("t")
+        asm.label("x")
+        with pytest.raises(AssemblyError):
+            asm.label("x")
+
+    def test_call_records_target(self):
+        asm = Assembler("t")
+        asm.call("func")
+        asm.halt()
+        asm.label("func")
+        asm.retl()
+        program = asm.assemble()
+        assert program.instructions[0].op is Op.CALL
+        assert program.instructions[0].target == program.address_of("func")
+
+
+class TestMacros:
+    def test_set_small_immediate_is_one_instruction(self):
+        asm = Assembler("t")
+        asm.set("g1", 100)
+        assert len(asm) == 1
+
+    def test_set_large_constant_expands_to_sethi_or(self):
+        asm = Assembler("t")
+        asm.set("g1", 0x12345678)
+        assert len(asm) == 2
+        program = asm.assemble()
+        assert program.instructions[0].op is Op.SETHI
+
+    def test_set_symbol_resolves_to_data_address(self):
+        asm = Assembler("t")
+        asm.data_label("table")
+        asm.word_data([1, 2, 3])
+        asm.set("g1", "table")
+        asm.halt()
+        program = asm.assemble()
+        address = program.address_of("table")
+        hi, lo = program.instructions[0], program.instructions[1]
+        assert (hi.imm << 11) | lo.imm == address
+
+    def test_cmp_is_subcc_against_g0(self):
+        asm = Assembler("t")
+        asm.cmp("g1", 5)
+        instr = asm.assemble().instructions[0]
+        assert instr.op is Op.SUBCC and instr.rd == 0
+
+    def test_immediate_out_of_range_needs_set(self):
+        asm = Assembler("t")
+        with pytest.raises(AssemblyError):
+            asm.add("g1", "g1", 100_000)
+
+    def test_unknown_register_rejected(self):
+        asm = Assembler("t")
+        with pytest.raises(SimulationError):
+            asm.add("z9", "g1", 1)
+
+
+class TestDataSegment:
+    def test_word_half_byte_layout(self):
+        asm = Assembler("t")
+        asm.data_label("words")
+        asm.word_data([0x11223344])
+        asm.data_label("halves")
+        asm.half_data([0xAABB])
+        asm.data_label("bytes")
+        asm.byte_data([1, 2, 3])
+        asm.align(4)
+        asm.data_label("aligned")
+        asm.halt()
+        program = asm.assemble()
+        base = program.layout.data_base
+        assert program.address_of("words") == base
+        assert program.address_of("halves") == base + 4
+        assert program.address_of("bytes") == base + 6
+        assert program.address_of("aligned") % 4 == 0
+        assert program.data[:4] == bytes([0x44, 0x33, 0x22, 0x11])  # little endian
+
+    def test_zeros_reserved(self):
+        asm = Assembler("t")
+        asm.data_label("buffer")
+        asm.zeros(128)
+        asm.halt()
+        assert len(asm.assemble().data) == 128
+
+
+class TestProgram:
+    def test_instruction_index_and_bounds(self):
+        asm = Assembler("t")
+        asm.nop()
+        asm.halt()
+        program = asm.assemble()
+        assert program.instruction_index(program.layout.text_base) == 0
+        assert program.instruction_at(program.layout.text_base + 4).op is Op.HALT
+        with pytest.raises(SimulationError):
+            program.instruction_index(program.layout.text_base + 8)
+        with pytest.raises(SimulationError):
+            program.instruction_index(program.layout.text_base + 2)
+
+    def test_unknown_symbol(self):
+        asm = Assembler("t")
+        asm.halt()
+        with pytest.raises(SimulationError):
+            asm.assemble().address_of("ghost")
+
+    def test_encoded_text_length(self):
+        asm = Assembler("t")
+        for _ in range(5):
+            asm.nop()
+        program = asm.assemble()
+        assert len(program.encoded_text()) == 5 * INSTRUCTION_BYTES
+
+    def test_text_overflow_detected(self):
+        layout = MemoryLayout(text_base=0, data_base=0x20, stack_top=0x1000, memory_size=0x2000)
+        asm = Assembler("t", layout=layout)
+        for _ in range(20):
+            asm.nop()
+        with pytest.raises(SimulationError):
+            asm.assemble()
+
+    def test_invalid_layout_rejected(self):
+        with pytest.raises(SimulationError):
+            MemoryLayout(text_base=0x1000, data_base=0x100, stack_top=0x2000, memory_size=0x4000)
+
+    def test_summary_mentions_counts(self):
+        asm = Assembler("prog")
+        asm.halt()
+        assert "1 instructions" in asm.assemble().summary()

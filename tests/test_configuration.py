@@ -1,0 +1,107 @@
+"""Tests for Configuration objects and the LEON validity rules."""
+
+import pytest
+
+from repro.config import (
+    Configuration,
+    Replacement,
+    base_configuration,
+    check_rules,
+    leon_parameter_space,
+    require_valid,
+)
+from repro.errors import ConfigurationError
+
+
+class TestConfiguration:
+    def test_base_configuration_is_base(self, base_config):
+        assert base_config.is_base()
+        assert base_config["dcache_setsize_kb"] == 4
+
+    def test_attribute_access(self, base_config):
+        assert base_config.dcache_setsize_kb == 4
+        assert base_config.multiplier == "m16x16"
+        with pytest.raises(AttributeError):
+            _ = base_config.not_a_parameter
+
+    def test_mapping_protocol(self, base_config):
+        assert len(base_config) == len(leon_parameter_space())
+        assert set(iter(base_config)) == set(leon_parameter_space().names)
+        with pytest.raises(ConfigurationError):
+            base_config["bogus"]
+
+    def test_missing_value_rejected(self, space):
+        values = space.defaults()
+        del values["multiplier"]
+        with pytest.raises(ConfigurationError):
+            Configuration(space, values)
+
+    def test_unknown_parameter_rejected(self, space):
+        values = space.defaults()
+        values["bogus"] = 1
+        with pytest.raises(ConfigurationError):
+            Configuration(space, values)
+
+    def test_out_of_domain_value_rejected(self, space):
+        values = space.defaults()
+        values["dcache_setsize_kb"] = 64
+        with pytest.raises(ConfigurationError):
+            Configuration(space, values)
+
+    def test_replace_returns_new_configuration(self, base_config):
+        new = base_config.replace(dcache_setsize_kb=32)
+        assert new.dcache_setsize_kb == 32
+        assert base_config.dcache_setsize_kb == 4
+        assert new != base_config
+
+    def test_diff_reports_only_changes(self, base_config):
+        new = base_config.replace(dcache_setsize_kb=32, multiplier="m32x32")
+        diff = new.diff(base_config)
+        assert set(diff) == {"dcache_setsize_kb", "multiplier"}
+        assert diff["dcache_setsize_kb"] == (4, 32)
+
+    def test_hash_and_equality(self, base_config):
+        other = base_configuration()
+        assert other == base_config
+        assert hash(other) == hash(base_config)
+        assert base_config.replace(load_delay=2) != base_config
+
+    def test_key_is_stable(self, base_config):
+        assert base_config.key() == base_configuration().key()
+
+    def test_as_dict_is_mutable_copy(self, base_config):
+        d = base_config.as_dict()
+        d["load_delay"] = 2
+        assert base_config.load_delay == 1
+
+
+class TestRules:
+    def test_base_configuration_is_valid(self, base_config):
+        assert check_rules(base_config) == []
+        assert require_valid(base_config) is base_config
+
+    def test_lrr_requires_exactly_two_sets(self, base_config):
+        bad = base_config.replace(dcache_replacement=Replacement.LRR)
+        violations = check_rules(bad)
+        assert violations and "LRR" in violations[0].message
+        with pytest.raises(ConfigurationError):
+            require_valid(bad)
+        good = bad.replace(dcache_sets=2)
+        assert check_rules(good) == []
+        still_bad = bad.replace(dcache_sets=3)
+        assert check_rules(still_bad)
+
+    def test_lru_requires_multiway(self, base_config):
+        bad = base_config.replace(icache_replacement=Replacement.LRU)
+        assert check_rules(bad)
+        for sets in (2, 3, 4):
+            assert check_rules(bad.replace(icache_sets=sets)) == []
+
+    def test_random_policy_always_valid(self, base_config):
+        for sets in (1, 2, 3, 4):
+            assert check_rules(base_config.replace(dcache_sets=sets)) == []
+
+    def test_violation_string_mentions_rule(self, base_config):
+        bad = base_config.replace(dcache_replacement=Replacement.LRR)
+        violation = check_rules(bad)[0]
+        assert "dcache" in str(violation)

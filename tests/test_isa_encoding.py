@@ -1,0 +1,119 @@
+"""Round-trip and error tests for the instruction encoding."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AssemblyError
+from repro.isa.encoding import IMM13_MAX, IMM13_MIN, INSTRUCTION_BYTES, decode, encode
+from repro.isa.instructions import CONDITION_CODES, Instruction, Op
+
+ALU_OPS = [Op.ADD, Op.ADDCC, Op.SUB, Op.SUBCC, Op.AND, Op.ANDCC, Op.OR, Op.ORCC,
+           Op.XOR, Op.XORCC, Op.SLL, Op.SRL, Op.SRA, Op.UMUL, Op.SMUL, Op.UDIV, Op.SDIV,
+           Op.LD, Op.LDUB, Op.LDUH, Op.LDSB, Op.LDSH, Op.ST, Op.STB, Op.STH, Op.JMPL,
+           Op.SAVE, Op.RESTORE]
+
+
+registers = st.integers(0, 31)
+
+
+@st.composite
+def register_form_instructions(draw):
+    op = draw(st.sampled_from(ALU_OPS))
+    return Instruction(op=op, rd=draw(registers), rs1=draw(registers), rs2=draw(registers))
+
+
+@st.composite
+def immediate_form_instructions(draw):
+    op = draw(st.sampled_from(ALU_OPS))
+    imm = draw(st.integers(IMM13_MIN, IMM13_MAX))
+    return Instruction(op=op, rd=draw(registers), rs1=draw(registers), imm=imm)
+
+
+class TestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(instr=st.one_of(register_form_instructions(), immediate_form_instructions()))
+    def test_three_operand_roundtrip(self, instr):
+        address = 0x1000
+        assert decode(encode(instr, address), address) == instr
+
+    @settings(max_examples=100, deadline=None)
+    @given(rd=registers, imm=st.integers(0, (1 << 21) - 1))
+    def test_sethi_roundtrip(self, rd, imm):
+        instr = Instruction(op=Op.SETHI, rd=rd, imm=imm)
+        assert decode(encode(instr, 0), 0) == instr
+
+    @settings(max_examples=100, deadline=None)
+    @given(condition=st.sampled_from(CONDITION_CODES),
+           displacement=st.integers(-10_000, 10_000))
+    def test_branch_roundtrip(self, condition, displacement):
+        address = 0x40_000
+        target = address + displacement * INSTRUCTION_BYTES
+        instr = Instruction(op=Op.BRANCH, condition=condition, target=target)
+        decoded = decode(encode(instr, address), address)
+        assert decoded.op is Op.BRANCH
+        assert decoded.condition == condition
+        assert decoded.target == target
+
+    @settings(max_examples=50, deadline=None)
+    @given(displacement=st.integers(-100_000, 100_000))
+    def test_call_roundtrip(self, displacement):
+        address = 0x80_000
+        instr = Instruction(op=Op.CALL, target=address + displacement * INSTRUCTION_BYTES)
+        decoded = decode(encode(instr, address), address)
+        assert decoded.op is Op.CALL
+        assert decoded.target == instr.target
+
+    @pytest.mark.parametrize("op", [Op.NOP, Op.HALT, Op.RET, Op.RETL])
+    def test_zero_operand_roundtrip(self, op):
+        instr = Instruction(op=op)
+        assert decode(encode(instr, 0), 0) == instr
+
+
+class TestErrors:
+    def test_unresolved_branch_rejected(self):
+        with pytest.raises(AssemblyError):
+            encode(Instruction(op=Op.BRANCH, condition="e", label="somewhere"), 0)
+
+    def test_immediate_out_of_range(self):
+        with pytest.raises(AssemblyError):
+            encode(Instruction(op=Op.ADD, rd=1, rs1=1, imm=IMM13_MAX + 1), 0)
+
+    def test_sethi_immediate_out_of_range(self):
+        with pytest.raises(AssemblyError):
+            encode(Instruction(op=Op.SETHI, rd=1, imm=1 << 21), 0)
+
+    def test_register_and_immediate_both_given(self):
+        with pytest.raises(AssemblyError):
+            Instruction(op=Op.ADD, rd=1, rs1=2, rs2=3, imm=4).validate()
+
+    def test_register_out_of_range(self):
+        with pytest.raises(AssemblyError):
+            Instruction(op=Op.ADD, rd=32, rs1=0, rs2=0).validate()
+
+    def test_unknown_branch_condition(self):
+        with pytest.raises(AssemblyError):
+            Instruction(op=Op.BRANCH, condition="zz", target=0).validate()
+
+    def test_illegal_opcode_word(self):
+        with pytest.raises(AssemblyError):
+            decode(0xFFFFFFFF, 0)
+
+
+class TestInstructionProperties:
+    def test_store_reads_its_data_register(self):
+        store = Instruction(op=Op.ST, rd=5, rs1=6, imm=0)
+        assert 5 in store.reads_registers
+        assert store.writes_register is None
+
+    def test_load_writes_destination(self):
+        load = Instruction(op=Op.LD, rd=5, rs1=6, imm=0)
+        assert load.writes_register == 5
+        assert load.is_load and not load.is_store
+
+    def test_call_writes_o7(self):
+        call = Instruction(op=Op.CALL, target=0)
+        assert call.writes_register == 15
+
+    def test_sets_icc_only_for_cc_ops(self):
+        assert Instruction(op=Op.SUBCC, rd=0, rs1=1, imm=0).sets_icc
+        assert not Instruction(op=Op.SUB, rd=0, rs1=1, imm=0).sets_icc

@@ -1,0 +1,101 @@
+"""Tests for the windowed register file and register naming."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.isa.registers import RegisterFile, register_name, register_number
+
+
+class TestRegisterNaming:
+    @pytest.mark.parametrize("name,number", [
+        ("g0", 0), ("g7", 7), ("o0", 8), ("o7", 15), ("l0", 16), ("l7", 23),
+        ("i0", 24), ("i7", 31), ("%o3", 11), ("sp", 14), ("fp", 30), ("ra", 15),
+    ])
+    def test_register_number(self, name, number):
+        assert register_number(name) == number
+
+    def test_register_name_roundtrip(self):
+        for number in range(32):
+            assert register_number(register_name(number)) == number
+
+    @pytest.mark.parametrize("bad", ["x0", "g8", "o9", "", "q3", "g"])
+    def test_invalid_names_rejected(self, bad):
+        with pytest.raises(SimulationError):
+            register_number(bad)
+
+    def test_invalid_number_rejected(self):
+        with pytest.raises(SimulationError):
+            register_name(32)
+
+
+class TestRegisterFile:
+    def test_g0_is_hardwired_zero(self):
+        regs = RegisterFile()
+        regs.write(0, 12345)
+        assert regs.read(0) == 0
+
+    def test_values_wrap_to_32_bits(self):
+        regs = RegisterFile()
+        regs.write(1, 2**32 + 5)
+        assert regs.read(1) == 5
+
+    def test_read_signed(self):
+        regs = RegisterFile()
+        regs.write(1, 0xFFFFFFFF)
+        assert regs.read_signed(1) == -1
+
+    def test_globals_survive_window_changes(self):
+        regs = RegisterFile()
+        regs.write(register_number("g3"), 99)
+        regs.save_window()
+        assert regs.read(register_number("g3")) == 99
+
+    def test_outs_become_ins_after_save(self):
+        regs = RegisterFile()
+        regs.write(register_number("o2"), 777)
+        regs.save_window()
+        assert regs.read(register_number("i2")) == 777
+        # and writes to the callee's ins are visible in the caller's outs
+        regs.write(register_number("i2"), 888)
+        regs.restore_window()
+        assert regs.read(register_number("o2")) == 888
+
+    def test_locals_are_private_per_window(self):
+        regs = RegisterFile()
+        regs.write(register_number("l4"), 11)
+        regs.save_window()
+        regs.write(register_number("l4"), 22)
+        regs.restore_window()
+        assert regs.read(register_number("l4")) == 11
+
+    def test_underflow_raises(self):
+        regs = RegisterFile()
+        with pytest.raises(SimulationError):
+            regs.restore_window()
+
+    def test_max_depth_tracking(self):
+        regs = RegisterFile()
+        for _ in range(5):
+            regs.save_window()
+        for _ in range(5):
+            regs.restore_window()
+        assert regs.max_depth == 5
+        assert regs.window == 0
+
+    def test_snapshot_names_all_registers(self):
+        snapshot = RegisterFile().snapshot()
+        assert len(snapshot) == 32
+        assert snapshot["g0"] == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=8))
+    def test_nested_calls_preserve_caller_outs(self, values):
+        """Values written to the outs at each depth reappear after the matching restore."""
+        regs = RegisterFile()
+        for depth, value in enumerate(values):
+            regs.write(register_number("o1"), value)
+            regs.save_window()
+        for value in reversed(values):
+            regs.restore_window()
+            assert regs.read(register_number("o1")) == value

@@ -1,0 +1,80 @@
+"""Tests for the Liquid measurement platform (build/measure, memoisation, deltas)."""
+
+import pytest
+
+from repro.config import base_configuration
+from repro.errors import MeasurementError
+from repro.platform import LiquidPlatform
+
+
+class TestBuild:
+    def test_build_matches_synthesis_model(self, platform, base_config):
+        report = platform.build(base_config)
+        assert report.luts == 14_992 and report.brams == 82
+
+    def test_build_is_memoised(self, base_config):
+        platform = LiquidPlatform()
+        platform.build(base_config)
+        platform.build(base_config)
+        platform.build(base_config.replace(multiplier="m32x32"))
+        assert platform.effort()["builds"] == 2
+
+    def test_oversized_configuration_rejected(self, base_config):
+        platform = LiquidPlatform()
+        huge = base_config.replace(icache_sets=4, icache_setsize_kb=32,
+                                   dcache_sets=4, dcache_setsize_kb=32)
+        assert not platform.fits(huge)
+        with pytest.raises(MeasurementError):
+            platform.build(huge)
+
+    def test_enforce_fit_can_be_disabled(self, base_config):
+        lenient = LiquidPlatform(enforce_fit=False)
+        huge = base_config.replace(icache_sets=4, icache_setsize_kb=32,
+                                   dcache_sets=4, dcache_setsize_kb=32)
+        report = lenient.build(huge)
+        assert not report.fits()
+
+
+class TestMeasure:
+    def test_measure_combines_resources_and_runtime(self, base_config, arith_small):
+        platform = LiquidPlatform()
+        measurement = platform.measure(arith_small, base_config)
+        assert measurement.workload == "arith"
+        assert measurement.cycles > 0
+        assert measurement.lut_percent == pytest.approx(39.04, abs=0.01)
+        assert measurement.chip_cost == pytest.approx(
+            measurement.lut_percent + measurement.bram_percent)
+        assert measurement.summary()["cycles"] == float(measurement.cycles)
+
+    def test_profile_is_memoised_per_configuration(self, base_config, arith_small):
+        platform = LiquidPlatform()
+        platform.measure(arith_small, base_config)
+        platform.measure(arith_small, base_config)
+        assert platform.effort()["runs"] == 1
+        platform.measure(arith_small, base_config.replace(multiplier="m32x32"))
+        assert platform.effort()["runs"] == 2
+
+    def test_cache_simulations_shared_across_configurations(self, base_config, arith_small):
+        platform = LiquidPlatform()
+        platform.measure(arith_small, base_config)
+        # changing only the multiplier must not re-simulate the caches
+        platform.measure(arith_small, base_config.replace(multiplier="m32x32"))
+        assert len(platform._cache_runs) == 2  # one icache + one dcache entry
+
+    def test_deltas_relative_to_base(self, base_config, arith_small):
+        platform = LiquidPlatform()
+        base = platform.measure(arith_small, base_config)
+        faster = platform.measure(arith_small, base_config.replace(multiplier="m32x32"))
+        delta = faster.delta(base)
+        assert delta.rho < 0                      # faster multiplier: runtime decreases
+        assert delta.lam > 0                      # ... at a LUT cost
+        assert delta.beta == pytest.approx(0.0)   # no BRAM change
+        assert delta.chip == pytest.approx(delta.lam + delta.beta)
+
+    def test_different_workloads_have_distinct_profiles(self, base_config,
+                                                        arith_small, frag_small):
+        platform = LiquidPlatform()
+        arith = platform.measure(arith_small, base_config)
+        frag = platform.measure(frag_small, base_config)
+        assert arith.cycles != frag.cycles
+        assert platform.effort()["runs"] == 2

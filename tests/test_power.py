@@ -1,0 +1,75 @@
+"""Tests for the power/energy extension (the paper's proposed future work)."""
+
+import pytest
+
+from repro.config import base_configuration
+from repro.fpga import PowerModel, energy_cost_percent
+from repro.platform import LiquidPlatform
+
+
+@pytest.fixture(scope="module")
+def power_platform():
+    return LiquidPlatform()
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PowerModel()
+
+
+class TestPowerModel:
+    def test_base_configuration_power_is_plausible(self, power_platform, model,
+                                                   drr_small, base_config):
+        measurement = power_platform.measure(drr_small, base_config)
+        estimate = model.estimate(measurement)
+        # a LEON2 system on a Virtex-E dissipates on the order of a watt
+        assert 300 < estimate.average_power_milliwatts < 3000
+        assert estimate.total_millijoules == pytest.approx(
+            estimate.static_millijoules + estimate.dynamic_millijoules)
+        assert "mJ" in estimate.summary()
+
+    def test_bigger_caches_increase_static_power(self, power_platform, model,
+                                                 drr_small, base_config):
+        small = power_platform.measure(drr_small, base_config)
+        big = power_platform.measure(
+            drr_small, base_config.replace(dcache_setsize_kb=32, icache_setsize_kb=8))
+        assert (model.static_power_milliwatts(big)
+                > model.static_power_milliwatts(small))
+
+    def test_fewer_misses_reduce_dynamic_energy(self, power_platform, model,
+                                                drr_small, base_config):
+        base = power_platform.measure(drr_small, base_config)
+        big_cache = power_platform.measure(
+            drr_small, base_config.replace(dcache_setsize_kb=32))
+        assert (model.dynamic_energy_millijoules(big_cache)
+                <= model.dynamic_energy_millijoules(base))
+
+    def test_faster_configuration_saves_static_energy(self, power_platform, model,
+                                                      arith_small, base_config):
+        base = power_platform.measure(arith_small, base_config)
+        fast = power_platform.measure(arith_small, base_config.replace(multiplier="m32x32"))
+        # the m32x32 multiplier leaks slightly more but finishes sooner; the
+        # runtime reduction dominates the static energy term
+        assert model.estimate(fast).static_millijoules < model.estimate(base).static_millijoules
+
+    def test_energy_cost_percent_sign_convention(self, power_platform, drr_small,
+                                                 base_config):
+        base = power_platform.measure(drr_small, base_config)
+        faster = power_platform.measure(drr_small, base_config.replace(dcache_fast_read=True))
+        assert energy_cost_percent(faster, base) < 0
+        assert energy_cost_percent(base, base) == pytest.approx(0.0)
+
+    def test_energy_is_a_usable_third_objective(self, power_platform, drr_small,
+                                                base_config):
+        """Energy deltas compose with the existing rho/lambda/beta costs."""
+        base = power_platform.measure(drr_small, base_config)
+        candidate = power_platform.measure(
+            drr_small, base_config.replace(dcache_setsize_kb=32))
+        rho = candidate.delta(base).rho
+        energy = energy_cost_percent(candidate, base)
+        weighted = 100 * rho + 1 * candidate.delta(base).chip + 10 * energy
+        assert isinstance(weighted, float)
+        # the larger cache is faster; whether it saves energy depends on the
+        # static-vs-dynamic balance, but the estimate must stay finite and
+        # within a sane band either way
+        assert -100 < energy < 100

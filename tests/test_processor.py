@@ -1,0 +1,61 @@
+"""Tests for the ProcessorModel facade (caches + timing on whole programs)."""
+
+import pytest
+
+from repro.config import base_configuration
+from repro.isa import Assembler
+from repro.microarch import ProcessorModel
+
+
+@pytest.fixture(scope="module")
+def program():
+    asm = Assembler("processor-test")
+    asm.data_label("buffer")
+    asm.word_data(list(range(256)))
+    asm.set("g1", "buffer")
+    asm.set("g2", 0)
+    asm.set("g3", 256)
+    asm.label("loop")
+    asm.ld("g4", "g1", 0)
+    asm.add("g2", "g2", "g4")
+    asm.add("g1", "g1", 4)
+    asm.subcc("g3", "g3", 1)
+    asm.bne("loop")
+    asm.halt()
+    return asm.assemble()
+
+
+class TestProcessorModel:
+    def test_run_program_produces_consistent_results(self, program, base_config):
+        run = ProcessorModel(base_config).run_program(program)
+        assert run.functional.register("g2") == sum(range(256))
+        assert run.statistics.cycles > run.statistics.instruction_count
+        assert run.statistics.workload == "processor-test"
+
+    def test_cache_statistics_reflect_the_access_stream(self, program, base_config):
+        run = ProcessorModel(base_config).run_program(program)
+        # 256 sequential word loads over 1 KB: one miss per 32-byte line
+        assert run.statistics.dcache is not None
+        assert run.statistics.dcache.read_misses == 1024 // 32
+        assert run.statistics.icache is not None
+        assert run.statistics.icache.read_misses >= 1
+
+    def test_evaluate_accepts_precomputed_cache_statistics(self, program, base_config):
+        model = ProcessorModel(base_config)
+        trace = model.run_program(program).functional.trace
+        cache_stats = model.simulate_caches(trace)
+        direct = model.evaluate(trace)
+        reused = model.evaluate(trace, cache_stats)
+        assert direct.cycles == reused.cycles
+
+    def test_different_configurations_share_functional_behaviour(self, program, base_config):
+        fast = ProcessorModel(base_config.replace(dcache_fast_read=True)).run_program(program)
+        slow = ProcessorModel(base_config).run_program(program)
+        assert fast.functional.register("g2") == slow.functional.register("g2")
+        assert fast.statistics.cycles < slow.statistics.cycles
+
+    def test_smaller_line_size_lowers_miss_penalty_but_raises_misses(self, program, base_config):
+        long_lines = ProcessorModel(base_config).run_program(program).statistics
+        short_lines = ProcessorModel(
+            base_config.replace(dcache_linesize_words=4)).run_program(program).statistics
+        assert short_lines.dcache.read_misses > long_lines.dcache.read_misses

@@ -1,0 +1,118 @@
+"""End-to-end tests of the MicroarchTuner (campaign -> BINLP -> solve -> verify)."""
+
+import itertools
+
+import pytest
+
+from repro import (
+    LiquidPlatform,
+    MicroarchTuner,
+    RESOURCE_OPTIMIZATION,
+    RUNTIME_ONLY,
+    RUNTIME_OPTIMIZATION,
+    base_configuration,
+)
+from repro.analysis import DCACHE_STUDY_PARAMETERS
+from repro.config import check_rules
+from repro.errors import OptimizationError
+
+
+@pytest.fixture(scope="module")
+def shared_platform():
+    return LiquidPlatform()
+
+
+@pytest.fixture(scope="module")
+def tuner(shared_platform):
+    return MicroarchTuner(shared_platform)
+
+
+@pytest.fixture(scope="module")
+def arith_runtime_result(tuner, arith_small):
+    return tuner.tune(arith_small, RUNTIME_OPTIMIZATION)
+
+
+class TestTuningResult:
+    def test_recommended_configuration_is_valid(self, arith_runtime_result):
+        assert check_rules(arith_runtime_result.configuration) == []
+        assert arith_runtime_result.solution.feasible
+
+    def test_runtime_optimisation_improves_runtime(self, arith_runtime_result):
+        assert arith_runtime_result.actual_runtime_gain_percent() > 0
+        assert arith_runtime_result.predicted_runtime_gain_percent() > 0
+
+    def test_arith_gets_the_fast_multiplier(self, arith_runtime_result):
+        changes = arith_runtime_result.changed_parameters()
+        assert changes.get("multiplier", (None, None))[1] == "m32x32"
+        # Arith touches no memory, so the data-cache size is never increased
+        assert arith_runtime_result.configuration.dcache_setsize_kb <= 4
+
+    def test_recommended_configuration_fits_the_device(self, shared_platform,
+                                                       arith_runtime_result):
+        assert shared_platform.fits(arith_runtime_result.configuration)
+
+    def test_prediction_errors_available_when_verified(self, arith_runtime_result):
+        errors = arith_runtime_result.prediction_errors()
+        assert set(errors) == {
+            "runtime_percent_error", "lut_error_linear", "lut_error_nonlinear",
+            "bram_error_linear", "bram_error_nonlinear"}
+
+    def test_summary_mentions_changes(self, arith_runtime_result):
+        text = arith_runtime_result.summary()
+        assert "multiplier" in text and "predicted runtime change" in text
+
+    def test_verify_false_skips_actual_measurement(self, tuner, arith_small,
+                                                   arith_runtime_result):
+        result = tuner.tune(arith_small, RUNTIME_OPTIMIZATION,
+                            model=arith_runtime_result.model, verify=False)
+        assert result.actual is None
+        with pytest.raises(OptimizationError):
+            result.actual_runtime_gain_percent()
+        with pytest.raises(OptimizationError):
+            result.prediction_errors()
+
+
+class TestResourceOptimization:
+    def test_resources_shrink_at_a_runtime_cost(self, tuner, arith_small,
+                                                arith_runtime_result):
+        result = tuner.tune(arith_small, RESOURCE_OPTIMIZATION,
+                            model=arith_runtime_result.model)
+        delta = result.actual_resource_delta()
+        assert delta["lut"] < 0
+        assert delta["bram"] < 0
+        assert result.actual_runtime_gain_percent() <= 0
+
+    def test_weights_change_the_recommendation(self, tuner, arith_small,
+                                               arith_runtime_result):
+        runtime = arith_runtime_result.configuration
+        resources = tuner.tune(arith_small, RESOURCE_OPTIMIZATION,
+                               model=arith_runtime_result.model).configuration
+        assert runtime != resources
+
+
+class TestDcacheStudy:
+    """The paper's Section 5: optimizer vs exhaustive on the dcache sub-space."""
+
+    def test_optimizer_matches_exhaustive_runtime(self, shared_platform, tuner, drr_small):
+        result = tuner.tune(drr_small, RUNTIME_ONLY, parameters=DCACHE_STUDY_PARAMETERS)
+        base = base_configuration()
+        best_cycles = None
+        for sets, size in itertools.product((1, 2, 3, 4), (1, 2, 4, 8, 16, 32)):
+            config = base.replace(dcache_sets=sets, dcache_setsize_kb=size)
+            if not shared_platform.fits(config):
+                continue
+            cycles = shared_platform.measure(drr_small, config).cycles
+            best_cycles = cycles if best_cycles is None else min(best_cycles, cycles)
+        assert result.actual is not None
+        gap = 100.0 * (result.actual.cycles - best_cycles) / result.base.cycles
+        # the paper reports a 0.02% gap; we allow a modest near-optimality margin
+        assert gap <= 1.0
+
+    def test_restricted_tuning_only_touches_dcache_geometry(self, tuner, drr_small):
+        result = tuner.tune(drr_small, RUNTIME_ONLY, parameters=DCACHE_STUDY_PARAMETERS)
+        assert set(result.changed_parameters()) <= set(DCACHE_STUDY_PARAMETERS)
+
+    def test_dcache_has_no_effect_on_arith(self, tuner, arith_small):
+        result = tuner.tune(arith_small, RUNTIME_ONLY, parameters=DCACHE_STUDY_PARAMETERS)
+        assert result.actual is not None
+        assert result.actual.cycles == result.base.cycles

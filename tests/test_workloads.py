@@ -1,0 +1,193 @@
+"""Tests for the four benchmark workloads (correctness and characterisation)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VerificationError
+from repro.workloads import (
+    ArithWorkload,
+    BlastnWorkload,
+    DrrWorkload,
+    FragWorkload,
+    WORKLOAD_ORDER,
+    small_workloads,
+    standard_workloads,
+)
+from repro.workloads.data import (
+    dna_sequence,
+    make_dna_dataset,
+    make_packet_trace,
+    plant_matches,
+)
+from repro.workloads.frag import _checksum
+
+
+class TestSyntheticData:
+    def test_dna_sequence_alphabet_and_determinism(self):
+        seq = dna_sequence(500, seed=1)
+        assert seq.min() >= 0 and seq.max() <= 3
+        assert np.array_equal(seq, dna_sequence(500, seed=1))
+        assert not np.array_equal(seq, dna_sequence(500, seed=2))
+
+    def test_plant_matches_inserts_query_substrings(self):
+        database = dna_sequence(2000, seed=3)
+        query = dna_sequence(64, seed=4)
+        planted = plant_matches(database, query, count=5, match_length=16, seed=5)
+        assert len(planted) == len(database)
+        # at least one exact 16-mer of the query must now occur in the database
+        query_words = {tuple(query[i:i + 16]) for i in range(len(query) - 16 + 1)}
+        db_words = {tuple(planted[i:i + 16]) for i in range(len(planted) - 16 + 1)}
+        assert query_words & db_words
+
+    def test_dna_dataset_geometry(self):
+        dataset = make_dna_dataset(database_length=1000, query_length=50, word_size=5)
+        assert dataset.database_length == 1000
+        assert dataset.table_entries == 4 ** 5
+
+    def test_packet_trace_ranges(self):
+        trace = make_packet_trace(300, flow_count=8, seed=11)
+        assert trace.packet_count == 300
+        assert trace.lengths.min() >= 40 and trace.lengths.max() <= 1500
+        assert set(np.unique(trace.flow_ids)) <= set(range(8))
+        assert len(trace.lengths_for_flow(0)) == int(np.sum(trace.flow_ids == 0))
+
+
+class TestArith:
+    def test_results_match_reference(self, arith_small):
+        results = arith_small.verify()
+        assert results == dict(arith_small.reference())
+
+    def test_not_memory_intensive(self, arith_small):
+        mix = arith_small.mix_summary()
+        assert mix["memory_fraction"] == 0.0
+        assert mix["muldiv_fraction"] > 0.1
+
+    def test_iteration_count_scales_instructions(self):
+        short = ArithWorkload(iterations=50).trace().instruction_count
+        long = ArithWorkload(iterations=100).trace().instruction_count
+        assert long > short
+
+    def test_invalid_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            ArithWorkload(iterations=0)
+
+    def test_verification_detects_corruption(self, arith_small):
+        result = arith_small.run_functional()
+        # corrupt a register after the fact and make sure verify() notices
+        result.registers.write(2, 0xDEAD)
+        with pytest.raises(VerificationError):
+            arith_small.verify(result)
+        # restore for other tests
+        arith_small.run_functional(force=True)
+
+
+class TestFrag:
+    def test_results_match_reference(self, frag_small):
+        results = frag_small.verify()
+        reference = dict(frag_small.reference())
+        assert results == reference
+        assert reference["fragment_count"] > frag_small.packet_count  # packets do fragment
+
+    def test_checksum_helper_is_ones_complement(self):
+        header = [0x4500, 0x0054, 0x0000, 0x4000, 0x4011, 0, 0xC0A8, 0x0001, 0xC0A8, 0x00C7]
+        checksum = _checksum(header)
+        folded = sum(header) + checksum
+        folded = (folded & 0xFFFF) + (folded >> 16)
+        folded = (folded & 0xFFFF) + (folded >> 16)
+        assert folded == 0xFFFF
+
+    def test_fragment_count_formula(self, frag_small):
+        expected = sum(
+            (len(payload) + frag_small.chunk - 1) // frag_small.chunk
+            for _, payload in frag_small._packets)
+        assert frag_small.reference()["fragment_count"] == expected
+
+    def test_bytes_copied_equals_total_payload(self, frag_small):
+        expected = sum(len(payload) for _, payload in frag_small._packets)
+        assert frag_small.reference()["bytes_copied"] == expected
+
+    def test_invalid_mtu_rejected(self):
+        with pytest.raises(ValueError):
+            FragWorkload(mtu=30)
+        with pytest.raises(ValueError):
+            FragWorkload(mtu=277)
+
+    def test_streaming_memory_profile(self, frag_small):
+        mix = frag_small.mix_summary()
+        assert mix["store_fraction"] > 0.05
+        assert mix["load_fraction"] > 0.05
+
+
+class TestDrr:
+    def test_results_match_reference(self, drr_small):
+        results = drr_small.verify()
+        assert results["packets_served"] == drr_small.packet_count
+        assert results["bytes_served"] == sum(drr_small._lengths)
+        assert results["rounds"] >= 1
+
+    def test_per_flow_bytes_match_classification(self, drr_small):
+        result = drr_small.run_functional()
+        drr_small.verify(result)
+        assert drr_small.served_bytes_per_flow(result) == drr_small.reference_per_flow_bytes()
+
+    def test_deficit_round_robin_fairness(self):
+        """With equal quanta no backlogged flow is starved: the spread of service
+        rounds needed per flow stays within the DRR fairness bound."""
+        workload = DrrWorkload(packet_count=400, seed=5)
+        reference = workload.reference()
+        per_flow = workload.reference_per_flow_bytes()
+        backlogged = [b for b in per_flow if b > 0]
+        # every backlogged flow could be served within the observed number of rounds
+        assert max(backlogged) <= reference["rounds"] * workload.QUANTUM
+
+    def test_quantum_covers_largest_packet(self, drr_small):
+        assert max(drr_small._lengths) <= drr_small.QUANTUM
+
+    def test_packet_count_bounds(self):
+        with pytest.raises(ValueError):
+            DrrWorkload(packet_count=0)
+        with pytest.raises(ValueError):
+            DrrWorkload(packet_count=DrrWorkload.QUEUE_CAPACITY + 1)
+
+    def test_flow_table_reuse_makes_drr_memory_sensitive(self, drr_small):
+        mix = drr_small.mix_summary()
+        assert mix["memory_fraction"] > 0.2
+        assert mix["muldiv_fraction"] > 0.0
+
+
+class TestBlastn:
+    def test_results_match_reference(self, blastn_small):
+        results = blastn_small.verify()
+        assert results["hits"] > 0          # planted matches guarantee seed hits
+        assert results["score"] > 0
+
+    def test_planted_matches_increase_hits(self):
+        with_planting = BlastnWorkload(database_length=1200, query_length=48,
+                                       query_count=1, planted_matches=8, seed=9)
+        without_planting = BlastnWorkload(database_length=1200, query_length=48,
+                                          query_count=1, planted_matches=0, seed=9)
+        assert with_planting.reference()["hits"] >= without_planting.reference()["hits"]
+
+    def test_memory_intensive_profile(self, blastn_small):
+        mix = blastn_small.mix_summary()
+        assert mix["load_fraction"] > 0.1
+
+    def test_too_short_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            BlastnWorkload(query_length=6)
+        with pytest.raises(ValueError):
+            BlastnWorkload(database_length=5)
+
+    def test_query_count_scales_work(self):
+        one = BlastnWorkload(database_length=1200, query_length=48, query_count=1)
+        two = BlastnWorkload(database_length=1200, query_length=48, query_count=2)
+        assert two.trace().instruction_count > 1.8 * one.trace().instruction_count
+
+
+class TestRegistry:
+    def test_standard_and_small_workloads_cover_the_paper(self):
+        assert set(standard_workloads()) == set(WORKLOAD_ORDER)
+        assert set(small_workloads()) == set(WORKLOAD_ORDER)
+
+    def test_trace_is_cached(self, arith_small):
+        assert arith_small.trace() is arith_small.trace()
