@@ -4,18 +4,29 @@
 This is the non-pytest entry point used to regenerate the numbers quoted
 in EXPERIMENTS.md; the pytest-benchmark harness in ``benchmarks/`` wraps
 the same drivers.
+
+The measurement layer runs through the evaluation engine: pass
+``--workers N`` to fan cache simulations out over N worker processes,
+``--store PATH`` to persist measurements (making a full reproduction
+resumable and shareable across runs), or ``--sequential`` to fall back to
+the bare platform.  Engine statistics (dedup hits, store hits, workers,
+wall clock) are printed at the end.
 """
 
 from __future__ import annotations
 
+import argparse
+import os
 import time
 
+from repro.engine import ParallelEvaluator, ResultStore
 from repro.platform import LiquidPlatform
 from repro.workloads import standard_workloads
 from repro.analysis import (
     approximation_ablation,
     dcache_exhaustive,
     dcache_study,
+    engine_report,
     headline_comparison,
     parameter_space_summary,
     perturbation_costs,
@@ -26,9 +37,31 @@ from repro.analysis import (
 )
 
 
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--workers", type=int, default=os.cpu_count() or 1,
+        help="worker processes for parallel cache simulation (default: CPU count)")
+    parser.add_argument(
+        "--store", metavar="PATH", default=None,
+        help="JSON-lines result store; measurements found there are not re-simulated")
+    parser.add_argument(
+        "--sequential", action="store_true",
+        help="bypass the engine and evaluate through the bare LiquidPlatform")
+    return parser.parse_args()
+
+
+def make_backend(args: argparse.Namespace, *, with_store: bool = True):
+    if args.sequential:
+        return LiquidPlatform()
+    store = ResultStore(args.store) if (args.store and with_store) else None
+    return ParallelEvaluator(LiquidPlatform(), workers=args.workers, store=store)
+
+
 def main() -> None:
+    args = parse_args()
     start = time.time()
-    platform = LiquidPlatform()
+    platform = make_backend(args)
     workloads = standard_workloads()
 
     def show(result, label):
@@ -46,9 +79,15 @@ def main() -> None:
     fig7 = resource_optimization(platform, workloads, models=fig5.data["models"])
     show(fig7, "Figure 7: chip resource optimization (w1=1, w2=100)")
     show(headline_comparison(fig5, fig7, fig4), "Headline claims")
-    show(scalability_study(LiquidPlatform(), workloads["frag"]), "Scalability study")
+    # the scalability study reports the effort of a *fresh* platform; feeding it
+    # the store would zero the build/run counts the paper's claim is about
+    show(scalability_study(make_backend(args, with_store=False), workloads["frag"]),
+         "Scalability study")
     show(approximation_ablation(fig5.data["results"]["drr"]), "Approximation ablation (DRR)")
     show(solver_ablation(fig5.data["models"]["blastn"]), "Solver ablation (BLASTN)")
+    if not args.sequential:
+        show(engine_report(platform), "Evaluation engine statistics")
+        print(platform.stats.summary())
     print(f"\nTotal wall clock: {time.time() - start:.1f}s")
 
 

@@ -37,6 +37,7 @@ from repro.core import (
     Weights,
     build_problem,
 )
+from repro.engine import EngineStats, EvaluationBackend, ParallelEvaluator, ResultStore
 from repro.fpga import SynthesisModel, XCV2000E
 from repro.microarch import ProcessorModel
 from repro.platform import LiquidPlatform, Measurement
@@ -63,5 +64,9 @@ __all__ = [
     "ProcessorModel",
     "LiquidPlatform",
     "Measurement",
+    "EngineStats",
+    "EvaluationBackend",
+    "ParallelEvaluator",
+    "ResultStore",
     "__version__",
 ]

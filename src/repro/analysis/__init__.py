@@ -8,6 +8,7 @@ from repro.analysis.experiments import (
     dcache_exhaustive,
     dcache_optimizer,
     dcache_study,
+    engine_report,
     optimization_study,
     parameter_space_summary,
     perturbation_costs,
@@ -26,6 +27,7 @@ __all__ = [
     "dcache_exhaustive",
     "dcache_optimizer",
     "dcache_study",
+    "engine_report",
     "optimization_study",
     "parameter_space_summary",
     "perturbation_costs",

@@ -47,8 +47,8 @@ from repro.core import (
     build_problem,
 )
 from repro.core.model import CostModel
+from repro.engine.backend import EngineStats, EvaluationBackend
 from repro.microarch.statistics import cycles_to_seconds
-from repro.platform import LiquidPlatform
 from repro.workloads import WORKLOAD_ORDER
 from repro.workloads.base import Workload
 from repro.analysis.tables import Table
@@ -64,6 +64,7 @@ __all__ = [
     "resource_optimization",
     "perturbation_costs",
     "scalability_study",
+    "engine_report",
     "approximation_ablation",
     "solver_ablation",
 ]
@@ -131,23 +132,29 @@ def parameter_space_summary() -> ExperimentResult:
 # --------------------------------------------------------------------------- Figure 2 --
 
 def dcache_exhaustive(
-    platform: LiquidPlatform,
+    platform: EvaluationBackend,
     workload: Workload,
     *,
     set_counts: Sequence[int] = CACHE_SET_COUNTS,
     set_sizes: Sequence[int] = CACHE_SET_SIZES_KB,
 ) -> ExperimentResult:
-    """Figure 2: exhaustive sweep of dcache {sets x set size} for one workload."""
+    """Figure 2: exhaustive sweep of dcache {sets x set size} for one workload.
+
+    The buildable grid points are submitted as one batch, so an engine
+    backend simulates the distinct cache geometries in parallel.
+    """
     base = base_configuration()
     table = Table(
         f"Figure 2: {workload.name} exhaustive dcache sweep",
         ["sets", "setsize_kb", "cycles", "seconds", "lut_percent", "bram_percent"])
+    points = [
+        (sets, size, base.replace(dcache_sets=sets, dcache_setsize_kb=size))
+        for sets, size in itertools.product(set_counts, set_sizes)
+    ]
+    points = [(sets, size, config) for sets, size, config in points if platform.fits(config)]
+    measurements = platform.measure_many(workload, [config for _, _, config in points])
     rows: List[Dict[str, Any]] = []
-    for sets, size in itertools.product(set_counts, set_sizes):
-        config = base.replace(dcache_sets=sets, dcache_setsize_kb=size)
-        if not platform.fits(config):
-            continue
-        measurement = platform.measure(workload, config)
+    for (sets, size, _), measurement in zip(points, measurements):
         row = {
             "sets": sets,
             "setsize_kb": size,
@@ -171,7 +178,7 @@ def dcache_exhaustive(
 # --------------------------------------------------------------------------- Figure 3 --
 
 def dcache_optimizer(
-    platform: LiquidPlatform,
+    platform: EvaluationBackend,
     workload: Workload,
     weights: Weights = RUNTIME_ONLY,
 ) -> ExperimentResult:
@@ -226,7 +233,7 @@ def dcache_optimizer(
 # --------------------------------------------------------------------------- Figure 4 --
 
 def dcache_study(
-    platform: LiquidPlatform,
+    platform: EvaluationBackend,
     workloads: Mapping[str, Workload],
     weights: Weights = RUNTIME_ONLY,
 ) -> ExperimentResult:
@@ -267,22 +274,30 @@ def dcache_study(
 # ----------------------------------------------------------------------- Figures 5 & 7 --
 
 def optimization_study(
-    platform: LiquidPlatform,
+    platform: EvaluationBackend,
     workloads: Mapping[str, Workload],
     weights: Weights,
     *,
     models: Optional[Mapping[str, CostModel]] = None,
     experiment: str = "optimization",
 ) -> ExperimentResult:
-    """Full-space optimisation for every workload (Figures 5 and 7)."""
+    """Full-space optimisation for every workload (Figures 5 and 7).
+
+    The one-factor campaigns of all workloads without a pre-built model
+    are submitted as a single multi-workload batch, so an engine backend
+    runs them concurrently.
+    """
     tuner = MicroarchTuner(platform)
     ordered = _ordered(workloads)
     results: Dict[str, TuningResult] = {}
-    used_models: Dict[str, CostModel] = {}
+    used_models: Dict[str, CostModel] = {
+        w.name: (models or {}).get(w.name) for w in ordered}
+    missing = [w for w in ordered if used_models[w.name] is None]
+    if missing:
+        used_models.update(tuner.build_models(missing))
     for workload in ordered:
-        model = (models or {}).get(workload.name) or tuner.build_model(workload)
-        used_models[workload.name] = model
-        results[workload.name] = tuner.tune(workload, weights, model=model, verify=True)
+        results[workload.name] = tuner.tune(
+            workload, weights, model=used_models[workload.name], verify=True)
 
     names = [w.name for w in ordered]
     base = base_configuration()
@@ -352,7 +367,7 @@ def optimization_study(
 
 
 def runtime_optimization(
-    platform: LiquidPlatform,
+    platform: EvaluationBackend,
     workloads: Mapping[str, Workload],
     *,
     models: Optional[Mapping[str, CostModel]] = None,
@@ -363,7 +378,7 @@ def runtime_optimization(
 
 
 def resource_optimization(
-    platform: LiquidPlatform,
+    platform: EvaluationBackend,
     workloads: Mapping[str, Workload],
     *,
     models: Optional[Mapping[str, CostModel]] = None,
@@ -401,10 +416,15 @@ def perturbation_costs(result: TuningResult) -> ExperimentResult:
 # --------------------------------------------------------------------- scalability claim --
 
 def scalability_study(
-    platform: LiquidPlatform,
+    platform: EvaluationBackend,
     workload: Workload,
 ) -> ExperimentResult:
-    """Section 3's feasibility claim: campaign size is linear, not exponential."""
+    """Section 3's feasibility claim: campaign size is linear, not exponential.
+
+    When ``platform`` is an engine backend, the engine's own accounting
+    (deduplication, store hits, worker pool) is reported next to the
+    paper's build/run counts.
+    """
     space = leon_parameter_space()
     tuner = MicroarchTuner(platform)
     before = platform.effort()
@@ -420,17 +440,32 @@ def scalability_study(
     table.add_row(["profiling runs by the campaign (incl. base)", runs])
     table.add_row(["exhaustive configurations", space.exhaustive_size()])
     table.add_row(["campaign wall-clock seconds", f"{elapsed:.2f}"])
+    data: Dict[str, Any] = {
+        "variables": len(model.space),
+        "builds": builds,
+        "runs": runs,
+        "exhaustive": space.exhaustive_size(),
+        "seconds": elapsed,
+    }
+    tables = [table]
+    stats = getattr(platform, "stats", None)
+    if isinstance(stats, EngineStats):
+        engine = engine_report(platform)
+        tables.extend(engine.tables)
+        data["engine"] = engine.data["engine"]
+    return ExperimentResult(experiment="scalability", tables=tables, data=data)
+
+
+def engine_report(platform: EvaluationBackend) -> ExperimentResult:
+    """Evaluation-engine accounting: dedup/store hits, worker pool, wall clock."""
+    stats = getattr(platform, "stats", None)
+    if not isinstance(stats, EngineStats):
+        raise ValueError("engine_report requires a backend with EngineStats accounting")
+    table = Table("Evaluation engine statistics", ["quantity", "value"])
+    for key, value in stats.as_dict().items():
+        table.add_row([key, value])
     return ExperimentResult(
-        experiment="scalability",
-        tables=[table],
-        data={
-            "variables": len(model.space),
-            "builds": builds,
-            "runs": runs,
-            "exhaustive": space.exhaustive_size(),
-            "seconds": elapsed,
-        },
-    )
+        experiment="engine", tables=[table], data={"engine": stats.as_dict()})
 
 
 # --------------------------------------------------------------------------- ablations --

@@ -24,6 +24,7 @@ from repro.config.configuration import Configuration
 from repro.config.leon_space import leon_parameter_space
 from repro.config.parameters import ParameterSpace
 from repro.config.rules import require_valid
+from repro.engine.backend import EvaluationBackend
 from repro.errors import OptimizationError
 from repro.platform.liquid import LiquidPlatform
 from repro.platform.measurement import Measurement
@@ -104,7 +105,7 @@ class MicroarchTuner:
 
     def __init__(
         self,
-        platform: Optional[LiquidPlatform] = None,
+        platform: Optional[EvaluationBackend] = None,
         parameter_space: Optional[ParameterSpace] = None,
         solver: Optional[Any] = None,
     ):
@@ -120,6 +121,21 @@ class MicroarchTuner:
     ) -> CostModel:
         """Run (or re-use) the one-factor campaign for ``workload``."""
         return self.campaign.run(workload, parameters=parameters)
+
+    def build_models(
+        self,
+        workloads: Iterable[Workload],
+        *,
+        parameters: Optional[Iterable[str]] = None,
+    ) -> Dict[str, CostModel]:
+        """One-factor campaigns for several workloads as a single batch.
+
+        With an engine backend the measurement work of every workload
+        shares one worker pool (and one persistent store); the models are
+        keyed by workload name and individually identical to
+        :meth:`build_model` output.
+        """
+        return self.campaign.run_many(workloads, parameters=parameters)
 
     def tune(
         self,

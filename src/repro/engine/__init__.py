@@ -1,0 +1,27 @@
+"""Evaluation engine: batched, parallel, persistent configuration measurement.
+
+The engine layer sits between the measurement consumers (campaign, tuner,
+experiment drivers) and the build-and-measure platform.  It turns *sets*
+of requested evaluations into the minimum amount of actual simulation
+work: duplicates are collapsed, previously persisted results are loaded
+from a :class:`~repro.engine.store.ResultStore`, and the remaining
+independent cache simulations are fanned out over a process pool by the
+:class:`~repro.engine.parallel.ParallelEvaluator`.
+
+Every backend -- the sequential :class:`~repro.platform.LiquidPlatform`
+and the parallel evaluator alike -- satisfies the structural
+:class:`~repro.engine.backend.EvaluationBackend` protocol, so consumers
+are written once against the protocol and scaled by swapping the backend.
+"""
+
+from repro.engine.backend import EngineStats, EvaluationBackend
+from repro.engine.parallel import ParallelEvaluator
+from repro.engine.store import ResultStore, workload_fingerprint
+
+__all__ = [
+    "EngineStats",
+    "EvaluationBackend",
+    "ParallelEvaluator",
+    "ResultStore",
+    "workload_fingerprint",
+]

@@ -1,0 +1,115 @@
+"""The abstract evaluation-backend protocol and engine accounting.
+
+:class:`EvaluationBackend` is the seam between measurement consumers
+(campaign, tuner, experiment drivers) and measurement providers.  It is a
+structural :class:`~typing.Protocol`: the sequential
+:class:`~repro.platform.LiquidPlatform` satisfies it natively, and the
+:class:`~repro.engine.parallel.ParallelEvaluator` wraps a platform to add
+deduplication, persistence and process-level parallelism behind the same
+five methods.  Consumers express *sets* of evaluations through
+:meth:`EvaluationBackend.measure_many` instead of looping over
+:meth:`EvaluationBackend.measure`, which is what lets a backend batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Protocol, Sequence, runtime_checkable
+
+from repro.config.configuration import Configuration
+from repro.fpga.report import ResourceReport
+from repro.microarch.statistics import ExecutionStatistics
+from repro.platform.measurement import Measurement
+from repro.workloads.base import Workload
+
+__all__ = ["EvaluationBackend", "EngineStats"]
+
+
+@runtime_checkable
+class EvaluationBackend(Protocol):
+    """Black-box build-and-measure service (the paper's platform role).
+
+    Implementations must be *deterministic*: measuring the same
+    (workload, configuration) pair through any backend, batched or not,
+    must produce an identical :class:`~repro.platform.Measurement` --
+    including the seeded RANDOM-replacement cache simulations.
+    """
+
+    def build(self, config: Configuration) -> ResourceReport:
+        """Synthesise a configuration (memoised)."""
+        ...
+
+    def profile(self, workload: Workload, config: Configuration) -> ExecutionStatistics:
+        """Cycle-accurate profile of ``workload`` on ``config`` (memoised)."""
+        ...
+
+    def measure(self, workload: Workload, config: Configuration) -> Measurement:
+        """Build ``config`` and run ``workload`` on it."""
+        ...
+
+    def measure_many(
+        self, workload: Workload, configs: Sequence[Configuration]
+    ) -> List[Measurement]:
+        """Measure a batch of configurations; results align with ``configs``."""
+        ...
+
+    def fits(self, config: Configuration) -> bool:
+        """True when the configuration can be built on the backend's device."""
+        ...
+
+    def effort(self) -> Dict[str, int]:
+        """Distinct builds and runs performed so far (scalability accounting)."""
+        ...
+
+
+@dataclass
+class EngineStats:
+    """Work accounting of one :class:`~repro.engine.parallel.ParallelEvaluator`.
+
+    The counters quantify how much simulation the engine *avoided*
+    (deduplication and store hits) versus how much it actually ran, and
+    how: ``cache_simulations`` counts distinct cache replays, of which
+    ``parallel_simulations`` went through the worker pool.
+    """
+
+    #: Worker processes the evaluator may use.
+    workers: int = 1
+    #: Total measurements requested through the batch API.
+    requested: int = 0
+    #: Requests answered by collapsing duplicates within a batch.
+    dedup_hits: int = 0
+    #: Requests answered from the persistent result store.
+    store_hits: int = 0
+    #: Measurements appended to the persistent result store.
+    store_writes: int = 0
+    #: Distinct cache simulations executed on behalf of the batches.
+    cache_simulations: int = 0
+    #: Cache simulations executed by the worker pool (rest ran inline).
+    parallel_simulations: int = 0
+    #: Batch calls served.
+    batches: int = 0
+    #: Wall-clock seconds spent inside the batch API.
+    wall_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Row-ready mapping used by the experiment tables."""
+        return {
+            "workers": self.workers,
+            "requested": self.requested,
+            "dedup_hits": self.dedup_hits,
+            "store_hits": self.store_hits,
+            "store_writes": self.store_writes,
+            "cache_simulations": self.cache_simulations,
+            "parallel_simulations": self.parallel_simulations,
+            "batches": self.batches,
+            "wall_seconds": round(self.wall_seconds, 3),
+        }
+
+    def summary(self) -> str:
+        """One-line human readable summary for script output."""
+        return (
+            f"engine: {self.requested} requests, {self.dedup_hits} dedup hits, "
+            f"{self.store_hits} store hits, {self.cache_simulations} cache sims "
+            f"({self.parallel_simulations} parallel on {self.workers} workers), "
+            f"{self.wall_seconds:.2f}s"
+        )

@@ -1,0 +1,274 @@
+"""Parallel batch evaluator: dedup, fan out cache simulations, persist.
+
+The expensive part of a measurement is the trace-driven cache simulation;
+synthesis and the timing model are vectorised/analytic and cheap.  The
+:class:`ParallelEvaluator` therefore plans a batch as follows:
+
+1. collapse duplicate configurations (first-appearance order preserved);
+2. answer what it can from the persistent
+   :class:`~repro.engine.store.ResultStore` and the wrapped platform's
+   in-process memo stores;
+3. compute the set of *distinct missing cache simulations* across every
+   workload in the batch and fan them out over a
+   :class:`~concurrent.futures.ProcessPoolExecutor`;
+4. install the results into the platform's memo store **in deterministic
+   job order** (completion order never leaks into results) and let the
+   platform assemble the final measurements.
+
+Because every cache job constructs a fresh :class:`~repro.microarch.cache.Cache`
+whose PRNG is seeded from its own geometry, a parallel batch is
+bit-identical to the sequential path -- including RANDOM replacement.
+
+Worker processes receive the (configuration-independent) execution traces
+once, through the pool initializer, and then only exchange small
+``(workload, kind, geometry)`` job tuples and hit/miss counters.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config.configuration import Configuration
+from repro.engine.backend import EngineStats
+from repro.engine.store import ResultStore
+from repro.fpga.report import ResourceReport
+from repro.microarch.cache import Cache, CacheConfig, CacheStatistics
+from repro.microarch.statistics import ExecutionStatistics
+from repro.platform.liquid import CacheJob, LiquidPlatform
+from repro.platform.measurement import Measurement
+from repro.workloads.base import Workload
+
+__all__ = ["ParallelEvaluator"]
+
+#: Per-worker trace registry, populated by the pool initializer.
+_WORKER_TRACES: Dict[str, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+
+
+def _init_worker(traces: Dict[str, Tuple[np.ndarray, np.ndarray, np.ndarray]]) -> None:
+    global _WORKER_TRACES
+    _WORKER_TRACES = traces
+
+
+def _run_cache_job(job: CacheJob) -> Tuple[CacheJob, CacheStatistics]:
+    workload_key, kind, cache_cfg = job
+    pcs, data_addresses, data_is_write = _WORKER_TRACES[workload_key]
+    if kind == "icache":
+        statistics = Cache(cache_cfg).simulate(pcs)
+    else:
+        statistics = Cache(cache_cfg).simulate(data_addresses, data_is_write)
+    return job, statistics
+
+
+class ParallelEvaluator:
+    """Batched :class:`~repro.engine.backend.EvaluationBackend` over a platform.
+
+    Parameters
+    ----------
+    platform:
+        The sequential build-and-measure platform to accelerate.  All
+        memoisation and effort accounting stays on the platform, so the
+        evaluator can be dropped into any consumer that previously held a
+        bare :class:`~repro.platform.LiquidPlatform`.
+    workers:
+        Worker-process budget; ``None`` uses the CPU count.  With one
+        worker (or tiny batches) simulations run inline.
+    store:
+        Optional persistent :class:`~repro.engine.store.ResultStore`;
+        measurements found there skip simulation entirely and newly
+        computed ones are appended, which makes campaigns resumable.
+    """
+
+    def __init__(
+        self,
+        platform: Optional[LiquidPlatform] = None,
+        *,
+        workers: Optional[int] = None,
+        store: Optional[ResultStore] = None,
+        min_parallel_jobs: int = 2,
+    ):
+        self.platform = platform or LiquidPlatform()
+        self.workers = max(1, workers if workers is not None else (os.cpu_count() or 1))
+        self.store = store
+        if store is not None:
+            store.bind_platform(self.platform.device, self.platform.timing_parameters)
+        self.min_parallel_jobs = max(2, min_parallel_jobs)
+        self.stats = EngineStats(workers=self.workers)
+        # The pool lives as long as the evaluator so consecutive batches skip
+        # process startup and trace pickling; it is rebuilt only when a batch
+        # introduces a workload (identified by trace fingerprint, not name)
+        # the current workers have never seen.
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_traces: Dict[str, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+
+    def close(self) -> None:
+        """Shut down the worker pool (the evaluator stays usable; it restarts lazily)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter shutdown ordering varies
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _ensure_pool(self, traces: Dict[str, Tuple[np.ndarray, np.ndarray, np.ndarray]]
+                     ) -> ProcessPoolExecutor:
+        new_workloads = [key for key in traces if key not in self._pool_traces]
+        if self._pool is None or new_workloads:
+            self.close()
+            self._pool_traces.update(traces)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(self._pool_traces,),
+            )
+        return self._pool
+
+    # -- delegated single-shot API ---------------------------------------------------------
+
+    @property
+    def device(self):
+        return self.platform.device
+
+    def build(self, config: Configuration) -> ResourceReport:
+        return self.platform.build(config)
+
+    def profile(self, workload: Workload, config: Configuration) -> ExecutionStatistics:
+        return self.platform.profile(workload, config)
+
+    def fits(self, config: Configuration) -> bool:
+        return self.platform.fits(config)
+
+    def effort(self) -> Dict[str, int]:
+        return self.platform.effort()
+
+    def measure(self, workload: Workload, config: Configuration) -> Measurement:
+        return self.measure_many(workload, [config])[0]
+
+    # -- batched API -----------------------------------------------------------------------
+
+    def measure_many(
+        self, workload: Workload, configs: Sequence[Configuration]
+    ) -> List[Measurement]:
+        """Measure a batch for one workload; results align with ``configs``."""
+        return self.measure_many_multi({workload: configs})[workload]
+
+    def measure_many_multi(
+        self, batches: Mapping[Workload, Sequence[Configuration]]
+    ) -> Dict[Workload, List[Measurement]]:
+        """Measure several workloads' batches concurrently.
+
+        The cache simulations of *all* workloads form one job pool, so a
+        campaign over four workloads keeps every worker busy even when a
+        single workload has few distinct geometries.  Results are keyed by
+        the workload *instances* (names may legitimately repeat across
+        differently scaled variants of one benchmark).
+        """
+        start = time.perf_counter()
+        self.stats.batches += 1
+
+        plan: List[Tuple[Workload, List[Configuration], Dict[Tuple, Measurement]]] = []
+        jobs: List[CacheJob] = []
+        seen_jobs = set()
+        for workload, configs in batches.items():
+            self.stats.requested += len(configs)
+            unique: List[Configuration] = []
+            unique_keys = set()
+            for config in configs:
+                key = config.key()
+                if key in unique_keys:
+                    self.stats.dedup_hits += 1
+                    continue
+                unique_keys.add(key)
+                unique.append(config)
+
+            ready: Dict[Tuple, Measurement] = {}
+            missing: List[Configuration] = []
+            for config in unique:
+                stored = self._from_store(workload, config)
+                if stored is not None:
+                    ready[config.key()] = stored
+                    self.stats.store_hits += 1
+                else:
+                    missing.append(config)
+            plan.append((workload, missing, ready))
+
+            for job in self.platform.cache_requests(workload, missing):
+                if job not in seen_jobs:
+                    seen_jobs.add(job)
+                    jobs.append(job)
+
+        self._execute_cache_jobs({workload: missing for workload, missing, _ in plan}, jobs)
+
+        results: Dict[Workload, List[Measurement]] = {}
+        for workload, missing, ready in plan:
+            for config in missing:
+                measurement = self.platform.measure(workload, config)
+                ready[config.key()] = measurement
+                if self.store is not None and self.store.put(workload, measurement):
+                    self.stats.store_writes += 1
+            results[workload] = [ready[c.key()] for c in batches[workload]]
+
+        self.stats.wall_seconds += time.perf_counter() - start
+        return results
+
+    # -- internals -------------------------------------------------------------------------
+
+    def _from_store(self, workload: Workload, config: Configuration) -> Optional[Measurement]:
+        if self.store is None:
+            return None
+        if self.platform.is_measured(workload, config):
+            return None  # in-process memo is cheaper and already counted
+        return self.store.get(workload, config)
+
+    def _execute_cache_jobs(
+        self, batches: Mapping[Workload, Sequence[Configuration]], jobs: List[CacheJob]
+    ) -> None:
+        """Run outstanding cache jobs, in parallel when it pays off."""
+        if not jobs:
+            return
+        self.stats.cache_simulations += len(jobs)
+        workloads_by_key = {w.fingerprint(): w for w in batches}
+        if self.workers <= 1 or len(jobs) < self.min_parallel_jobs:
+            for job in jobs:
+                self.platform.install_cache_run(
+                    job, self.platform.simulate_cache_job(workloads_by_key[job[0]], job))
+            return
+
+        needed = {key for key, _, _ in jobs}
+        traces = {}
+        for key in sorted(needed):
+            trace = workloads_by_key[key].trace()
+            traces[key] = (trace.pcs, trace.data_addresses, trace.data_is_write)
+
+        completed: Dict[CacheJob, CacheStatistics] = {}
+        try:
+            pool = self._ensure_pool(traces)
+            futures = [pool.submit(_run_cache_job, job) for job in jobs]
+            for future in as_completed(futures):
+                job, statistics = future.result()
+                completed[job] = statistics
+            self.stats.parallel_simulations += len(jobs)
+        except (OSError, BrokenProcessPool):
+            # pragma: no cover - restricted sandboxes or killed workers
+            self.close()
+            for job in jobs:
+                if job not in completed:
+                    completed[job] = self.platform.simulate_cache_job(
+                        workloads_by_key[job[0]], job)
+        # deterministic merge: install in request order, not completion order
+        for job in jobs:
+            self.platform.install_cache_run(job, completed[job])

@@ -1,0 +1,234 @@
+"""Persistent measurement store (JSON-lines, shareable across processes).
+
+The store plays the role PyExperimenter-style harnesses give their result
+database: a campaign writes every :class:`~repro.platform.Measurement` it
+produces, keyed by ``(workload fingerprint, configuration key)``, and any
+later campaign -- in this process or another -- pulls finished results
+instead of re-simulating them.  That makes full paper reproductions
+resumable and lets several runs share one cache directory.
+
+Two details keep lookups sound:
+
+* The *workload fingerprint* hashes the workload's execution trace, not
+  just its name, so a scaled-down test workload never aliases the
+  benchmark-scale workload of the same name.
+* Every record carries a *context* digest of the platform's device and
+  timing parameters, so stores survive calibration changes without
+  serving stale measurements.
+
+Records round-trip exactly (all persisted fields are ints, strings and
+mappings thereof), so a store-served measurement compares equal to a
+freshly simulated one -- the engine equivalence tests assert this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.config.configuration import Configuration
+from repro.fpga.device import FpgaDevice, XCV2000E
+from repro.fpga.report import ResourceReport
+from repro.microarch.cache import CacheStatistics
+from repro.microarch.statistics import ExecutionStatistics
+from repro.microarch.timing import TimingParameters
+from repro.platform.measurement import Measurement
+from repro.workloads.base import Workload
+
+__all__ = ["ResultStore", "workload_fingerprint", "platform_context"]
+
+
+def workload_fingerprint(workload: Workload) -> str:
+    """Content digest of a workload's execution trace (cached on the instance).
+
+    Two workloads with the same name but different inputs (e.g. the test
+    suite's scaled-down variants) get different fingerprints, so a shared
+    store can never serve a measurement of the wrong trace.
+    """
+    return workload.fingerprint()
+
+
+def platform_context(device: FpgaDevice, timing_parameters: TimingParameters) -> str:
+    """Digest of everything besides the configuration that shapes a measurement."""
+    blob = f"{device!r}|{timing_parameters!r}"
+    return hashlib.sha1(blob.encode()).hexdigest()[:16]
+
+
+def _config_key_string(config: Configuration) -> str:
+    return json.dumps(config.key(), sort_keys=True, default=_jsonable)
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    raise TypeError(f"not JSON serialisable: {value!r}")
+
+
+def _cache_stats_dict(stats: Optional[CacheStatistics]) -> Optional[Dict[str, int]]:
+    if stats is None:
+        return None
+    return {
+        "accesses": stats.accesses,
+        "read_accesses": stats.read_accesses,
+        "write_accesses": stats.write_accesses,
+        "read_misses": stats.read_misses,
+        "write_misses": stats.write_misses,
+    }
+
+
+def _cache_stats_from(data: Optional[Dict[str, int]]) -> Optional[CacheStatistics]:
+    return None if data is None else CacheStatistics(**data)
+
+
+class ResultStore:
+    """Append-only JSON-lines store of measurements.
+
+    ``path=None`` keeps the store purely in memory (deduplication within
+    one process without touching the filesystem); with a path, records
+    are appended as they are produced and re-read on open, last record
+    per key winning.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        *,
+        device: FpgaDevice = XCV2000E,
+        timing_parameters: Optional[TimingParameters] = None,
+    ):
+        self.path = path
+        self.device = device
+        self.context = platform_context(device, timing_parameters or TimingParameters())
+        self._records: Dict[Tuple[str, str], Dict[str, Any]] = {}
+        if path and os.path.exists(path):
+            self._load(path)
+
+    def bind_platform(self, device: FpgaDevice, timing_parameters: TimingParameters) -> None:
+        """Re-key the store to a platform's actual device and timing calibration.
+
+        The engine calls this so that records are always stamped with --
+        and looked up under -- the wrapped platform's context, not this
+        store's constructor defaults.  A context change re-reads the file
+        under the new filter.
+        """
+        context = platform_context(device, timing_parameters)
+        if context == self.context and device == self.device:
+            return
+        self.device = device
+        self.context = context
+        self._records.clear()
+        if self.path and os.path.exists(self.path):
+            self._load(self.path)
+
+    # -- persistence ------------------------------------------------------------------
+
+    def _load(self, path: str) -> None:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    key = (record["fingerprint"], record["config_key"])
+                except (ValueError, KeyError, TypeError):
+                    # a run killed mid-append leaves a truncated last line;
+                    # losing one record must not make the store unloadable
+                    continue
+                if record.get("context") != self.context:
+                    continue
+                self._records[key] = record
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        if not self.path:
+            return
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, default=_jsonable) + "\n")
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: Tuple[str, str]) -> bool:
+        return key in self._records
+
+    # -- measurement (de)serialisation ---------------------------------------------------
+
+    def put(self, workload: Workload, measurement: Measurement) -> bool:
+        """Persist one measurement; returns ``False`` when already stored."""
+        fingerprint = workload_fingerprint(workload)
+        key = (fingerprint, _config_key_string(measurement.configuration))
+        if key in self._records:
+            return False
+        statistics = measurement.statistics
+        record = {
+            "context": self.context,
+            "fingerprint": fingerprint,
+            "config_key": key[1],
+            "workload": measurement.workload,
+            "config": measurement.configuration.as_dict(),
+            "resources": {
+                "device": measurement.resources.device.name,
+                "luts": measurement.resources.luts,
+                "brams": measurement.resources.brams,
+                "lut_breakdown": dict(measurement.resources.lut_breakdown),
+                "bram_breakdown": dict(measurement.resources.bram_breakdown),
+            },
+            "statistics": {
+                "instruction_count": statistics.instruction_count,
+                "cycles": statistics.cycles,
+                "cycle_breakdown": dict(statistics.cycle_breakdown),
+                "icache": _cache_stats_dict(statistics.icache),
+                "dcache": _cache_stats_dict(statistics.dcache),
+                "window_overflows": statistics.window_overflows,
+                "window_underflows": statistics.window_underflows,
+            },
+        }
+        self._records[key] = record
+        self._append(record)
+        return True
+
+    def get(self, workload: Workload, config: Configuration) -> Optional[Measurement]:
+        """The stored measurement for ``(workload, config)``, or ``None``."""
+        key = (workload_fingerprint(workload), _config_key_string(config))
+        record = self._records.get(key)
+        if record is None:
+            return None
+        return self._measurement_from(record, config)
+
+    def _measurement_from(self, record: Dict[str, Any], config: Configuration) -> Measurement:
+        if record["resources"]["device"] != self.device.name:  # pragma: no cover - guard
+            raise ValueError("stored measurement targets a different device")
+        resources = ResourceReport(
+            device=self.device,
+            luts=record["resources"]["luts"],
+            brams=record["resources"]["brams"],
+            lut_breakdown=record["resources"]["lut_breakdown"],
+            bram_breakdown=record["resources"]["bram_breakdown"],
+        )
+        stats = record["statistics"]
+        statistics = ExecutionStatistics(
+            workload=record["workload"],
+            configuration=config,
+            instruction_count=stats["instruction_count"],
+            cycles=stats["cycles"],
+            cycle_breakdown=stats["cycle_breakdown"],
+            icache=_cache_stats_from(stats["icache"]),
+            dcache=_cache_stats_from(stats["dcache"]),
+            window_overflows=stats["window_overflows"],
+            window_underflows=stats["window_underflows"],
+        )
+        return Measurement(
+            workload=record["workload"],
+            configuration=config,
+            resources=resources,
+            statistics=statistics,
+        )

@@ -182,6 +182,8 @@ class Cache:
         self,
         addresses: np.ndarray,
         writes: Optional[np.ndarray] = None,
+        *,
+        vectorized: Optional[bool] = None,
     ) -> CacheStatistics:
         """Simulate a full address trace and return hit/miss statistics.
 
@@ -193,6 +195,10 @@ class Cache:
             Optional boolean array aligned with ``addresses``; ``True``
             marks a store.  When omitted every access is a read (the
             instruction-cache case).
+        vectorized:
+            ``None`` (default) picks the fastest exact path automatically;
+            ``False`` forces the scalar per-access reference loop (used by
+            the equivalence tests and the hot-path benchmarks).
         """
         cfg = self.config
         lines_per_way = cfg.lines_per_way
@@ -211,12 +217,19 @@ class Cache:
         write_misses = 0
         write_total = int(np.count_nonzero(writes_arr))
 
+        # Fully vectorized path for direct-mapped caches.  Direct-mapped
+        # points dominate the paper's exhaustive dcache sweep (Figure 2),
+        # so avoiding the per-access Python loop there is the single
+        # biggest win of the measurement hot path.
+        if vectorized is not False and cfg.ways == 1 and len(line_numbers):
+            return self._simulate_direct_mapped(indices, tags, writes_arr)
+
         # Fast path for read-only traces (the instruction cache): when every
         # index holds no more distinct lines than there are ways, no eviction
         # can ever happen, so the misses are exactly the compulsory ones.
         # This is the common case for the paper's benchmark kernels, whose
         # text fits comfortably in the instruction cache.
-        if write_total == 0 and len(line_numbers):
+        if vectorized is not False and write_total == 0 and len(line_numbers):
             unique_lines = np.unique(line_numbers)
             unique_indices = unique_lines % lines_per_way
             _, per_index_counts = np.unique(unique_indices, return_counts=True)
@@ -287,6 +300,73 @@ class Cache:
         return CacheStatistics(
             accesses=accesses,
             read_accesses=accesses - write_total,
+            write_accesses=write_total,
+            read_misses=read_misses,
+            write_misses=write_misses,
+        )
+
+    # -- vectorized direct-mapped replay -------------------------------------------------
+
+    def _simulate_direct_mapped(
+        self,
+        indices: np.ndarray,
+        tags: np.ndarray,
+        writes_arr: np.ndarray,
+    ) -> CacheStatistics:
+        """Tag-replay of a direct-mapped cache without the per-access loop.
+
+        With a single way the stored tag of a line index only ever changes
+        on a *read* (write-through, no write-allocate), after which it
+        always equals that read's tag.  An access therefore hits exactly
+        when its tag matches the most recent earlier read of the same
+        index -- or the pre-existing tag store content when there is none.
+        That "previous read in my group" relation is computed with a
+        stable sort by index plus a running maximum, so the whole replay
+        is NumPy reductions.  Replacement policy and the RNG are never
+        consulted (a 1-way cache has no victim choice), which keeps the
+        statistics and the final tag store bit-identical to the scalar
+        reference loop.
+        """
+        n = len(indices)
+        order = np.argsort(indices, kind="stable")
+        idx_s = indices[order]
+        tag_s = tags[order]
+        read_s = ~writes_arr[order]
+
+        group_start = np.empty(n, dtype=bool)
+        group_start[0] = True
+        group_start[1:] = idx_s[1:] != idx_s[:-1]
+        start_positions = np.flatnonzero(group_start)
+        group_lengths = np.diff(np.append(start_positions, n))
+        start_per_elem = np.repeat(start_positions, group_lengths)
+
+        positions = np.arange(n, dtype=np.int64)
+        last_read_pos = np.maximum.accumulate(np.where(read_s, positions, -1))
+        prev_read_pos = np.empty(n, dtype=np.int64)
+        prev_read_pos[0] = -1
+        prev_read_pos[1:] = last_read_pos[:-1]
+        # a "previous read" carried over from a different index group is
+        # invalid; fall back to the tag store's current content there.
+        has_prev = prev_read_pos >= start_per_elem
+        initial_tags = self._tags[idx_s, 0]  # -1 marks invalid, never matches
+        effective_tag = np.where(has_prev, tag_s[np.maximum(prev_read_pos, 0)], initial_tags)
+        hit_s = effective_tag == tag_s
+
+        miss_s = ~hit_s
+        read_misses = int(np.count_nonzero(read_s & miss_s))
+        write_misses = int(np.count_nonzero(~read_s & miss_s))
+
+        # final tag store state: the last read of each index group wins
+        group_ends = np.append(start_positions[1:], n) - 1
+        final_read_pos = last_read_pos[group_ends]
+        touched = final_read_pos >= start_positions
+        self._tags[idx_s[start_positions[touched]], 0] = tag_s[final_read_pos[touched]]
+        self._tick += n
+
+        write_total = int(np.count_nonzero(writes_arr))
+        return CacheStatistics(
+            accesses=n,
+            read_accesses=n - write_total,
             write_accesses=write_total,
             read_misses=read_misses,
             write_misses=write_misses,

@@ -22,7 +22,7 @@ runs were needed, which is the quantity the paper's scalability argument
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config.configuration import Configuration
 from repro.errors import MeasurementError
@@ -35,7 +35,14 @@ from repro.microarch.timing import TimingModel, TimingParameters
 from repro.platform.measurement import Measurement
 from repro.workloads.base import Workload
 
-__all__ = ["LiquidPlatform"]
+__all__ = ["LiquidPlatform", "CacheJob"]
+
+#: One outstanding cache simulation: ``(workload_fingerprint, "icache"|"dcache",
+#: geometry)``.  The engine layer fans these out over worker processes and
+#: installs the resulting statistics back into the platform's memo store.
+#: Keys use :meth:`~repro.workloads.base.Workload.fingerprint` rather than the
+#: workload name so same-named workloads with different traces never alias.
+CacheJob = Tuple[str, str, CacheConfig]
 
 
 class LiquidPlatform:
@@ -54,7 +61,8 @@ class LiquidPlatform:
         self.timing_parameters = timing_parameters or TimingParameters()
         self.enforce_fit = enforce_fit
         # memoisation stores
-        self._builds: Dict[Tuple, ResourceReport] = {}
+        self._reports: Dict[Tuple, ResourceReport] = {}
+        self._built: set = set()
         self._runs: Dict[Tuple, ExecutionStatistics] = {}
         self._cache_runs: Dict[Tuple, CacheStatistics] = {}
         # effort accounting
@@ -63,42 +71,97 @@ class LiquidPlatform:
 
     # -- synthesis ------------------------------------------------------------------------
 
+    def _synthesize(self, config: Configuration) -> ResourceReport:
+        """Run (or reuse) the synthesis model without fit enforcement."""
+        key = config.key()
+        report = self._reports.get(key)
+        if report is None:
+            report = self.synthesis.synthesize(config)
+            self._reports[key] = report
+        return report
+
     def build(self, config: Configuration) -> ResourceReport:
         """Synthesise a configuration (memoised)."""
         key = config.key()
-        if key not in self._builds:
-            report = self.synthesis.synthesize(config)
+        report = self._synthesize(config)
+        if key not in self._built:
             if self.enforce_fit and not report.fits():
                 raise MeasurementError(
                     f"configuration does not fit on {self.device.name}: {report.summary()}")
-            self._builds[key] = report
+            self._built.add(key)
             self.build_count += 1
-        return self._builds[key]
+        return report
 
     def fits(self, config: Configuration) -> bool:
-        """True when the configuration can be built on the platform's device."""
-        return self.synthesis.synthesize(config).fits()
+        """True when the configuration can be built on the platform's device.
+
+        The synthesis report is memoised and shared with :meth:`build`, so
+        a campaign that pre-screens every perturbation never synthesises a
+        configuration twice.
+        """
+        return self._synthesize(config).fits()
 
     # -- execution -------------------------------------------------------------------------
+
+    @staticmethod
+    def _cache_keys(workload_key: str, config: Configuration) -> Tuple[Tuple, Tuple]:
+        icache_cfg = CacheConfig.icache_from(config)
+        dcache_cfg = CacheConfig.dcache_from(config)
+        return (workload_key, "icache", icache_cfg), (workload_key, "dcache", dcache_cfg)
+
+    def cache_requests(
+        self, workload: Workload, configs: Sequence[Configuration]
+    ) -> List[CacheJob]:
+        """Distinct, not-yet-simulated cache runs needed to measure ``configs``.
+
+        The returned jobs are deterministic in order (first-need order over
+        the batch) and safe to execute independently: every job gets a
+        fresh :class:`Cache` whose PRNG is seeded from its own geometry,
+        exactly as the sequential path does.
+        """
+        jobs: List[CacheJob] = []
+        seen = set()
+        workload_key = workload.fingerprint()
+        for config in configs:
+            if (workload_key, config.key()) in self._runs:
+                continue
+            for key in self._cache_keys(workload_key, config):
+                if key in self._cache_runs or key in seen:
+                    continue
+                seen.add(key)
+                jobs.append(key)
+        return jobs
+
+    def is_measured(self, workload: Workload, config: Configuration) -> bool:
+        """True when :meth:`measure` would be answered entirely from memos."""
+        return ((workload.fingerprint(), config.key()) in self._runs
+                and config.key() in self._built)
+
+    def install_cache_run(self, job: CacheJob, statistics: CacheStatistics) -> None:
+        """Install an externally simulated cache result into the memo store."""
+        self._cache_runs.setdefault(job, statistics)
+
+    def simulate_cache_job(self, workload: Workload, job: CacheJob) -> CacheStatistics:
+        """Run one cache job in-process (the engine's worker does the same remotely)."""
+        trace = workload.trace()
+        _, kind, cache_cfg = job
+        if kind == "icache":
+            return Cache(cache_cfg).simulate(trace.pcs)
+        return Cache(cache_cfg).simulate(trace.data_addresses, trace.data_is_write)
 
     def _cache_statistics(
         self, workload: Workload, config: Configuration
     ) -> Tuple[CacheStatistics, CacheStatistics]:
-        trace = workload.trace()
-        icache_cfg = CacheConfig.icache_from(config)
-        dcache_cfg = CacheConfig.dcache_from(config)
-        ikey = (workload.name, "icache", icache_cfg)
-        dkey = (workload.name, "dcache", dcache_cfg)
+        ikey, dkey = self._cache_keys(workload.fingerprint(), config)
         if ikey not in self._cache_runs:
-            self._cache_runs[ikey] = Cache(icache_cfg).simulate(trace.pcs)
+            self._cache_runs[ikey] = self.simulate_cache_job(workload, ikey)
         if dkey not in self._cache_runs:
-            self._cache_runs[dkey] = Cache(dcache_cfg).simulate(
-                trace.data_addresses, trace.data_is_write)
+            self._cache_runs[dkey] = self.simulate_cache_job(workload, dkey)
         return self._cache_runs[ikey], self._cache_runs[dkey]
 
     def profile(self, workload: Workload, config: Configuration) -> ExecutionStatistics:
         """Cycle-accurate profile of ``workload`` on ``config`` (memoised)."""
-        key = (workload.name, config.key())
+        key = (workload.fingerprint(), config.key())
         if key not in self._runs:
             cache_stats = self._cache_statistics(workload, config)
             timing = TimingModel(config, self.timing_parameters)
@@ -118,6 +181,24 @@ class LiquidPlatform:
             resources=resources,
             statistics=statistics,
         )
+
+    def measure_many(
+        self, workload: Workload, configs: Sequence[Configuration]
+    ) -> List[Measurement]:
+        """Measure a batch of configurations; results align with ``configs``.
+
+        Duplicate configurations are measured once.  This is the batch
+        entry point of the :class:`~repro.engine.backend.EvaluationBackend`
+        protocol; the sequential platform evaluates the unique
+        configurations in first-appearance order, which parallel backends
+        must reproduce bit-identically.
+        """
+        unique: Dict[Tuple, Measurement] = {}
+        for config in configs:
+            key = config.key()
+            if key not in unique:
+                unique[key] = self.measure(workload, config)
+        return [unique[config.key()] for config in configs]
 
     def effort(self) -> Dict[str, int]:
         """Distinct builds and runs performed so far (scalability accounting)."""

@@ -15,8 +15,11 @@ configuration evaluations.
 
 from __future__ import annotations
 
+import hashlib
 from abc import ABC, abstractmethod
 from typing import Dict, Mapping, Optional
+
+import numpy as np
 
 from repro.errors import VerificationError
 from repro.isa.program import Program
@@ -40,6 +43,7 @@ class Workload(ABC):
         self.max_instructions = max_instructions
         self._program: Optional[Program] = None
         self._result: Optional[SimulationResult] = None
+        self._fingerprint: Optional[str] = None
 
     # -- to be provided by concrete workloads -----------------------------------------
 
@@ -74,6 +78,25 @@ class Workload(ABC):
     def trace(self) -> ExecutionTrace:
         """The configuration-independent execution trace of this workload."""
         return self.run_functional().trace
+
+    def fingerprint(self) -> str:
+        """Content digest identifying this workload's execution trace.
+
+        Measurement memoisation and the persistent result store key on
+        this instead of :attr:`name`, so two same-named workloads with
+        different inputs (e.g. a scaled-down test variant) can never
+        alias each other's results.
+        """
+        if self._fingerprint is None:
+            trace = self.trace()
+            digest = hashlib.sha1()
+            for array in (trace.pcs, trace.op_classes, trace.mem_addrs,
+                          trace.load_use_hazard, trace.cc_branch_hazard,
+                          trace.window_events):
+                digest.update(np.ascontiguousarray(array).tobytes())
+            self._fingerprint = (
+                f"{self.name}:{trace.instruction_count}:{digest.hexdigest()[:16]}")
+        return self._fingerprint
 
     # -- verification ------------------------------------------------------------------------
 
