@@ -22,6 +22,11 @@ def test_scalability_of_the_campaign(benchmark, workloads):
     emit(result)
     assert result.data["builds"] == result.data["variables"] + 1   # base + one per variable
     assert result.data["exhaustive"] / result.data["builds"] > 10**6
+    # per-configuration throughput makes trajectories comparable across machines
+    assert result.data["configs_per_second"] > 0
+    print(f"\nsequential campaign throughput: "
+          f"{result.data['configs_per_second']:.1f} configs/sec "
+          f"({result.data['runs']} configs in {result.data['seconds']:.2f}s)")
 
 
 def test_scalability_of_the_campaign_through_the_engine(benchmark, workloads):
@@ -32,8 +37,11 @@ def test_scalability_of_the_campaign_through_the_engine(benchmark, workloads):
     emit(result)
 
     sequential = scalability_study(LiquidPlatform(), workloads["frag"])
-    print(f"\ncampaign wall-clock: sequential {sequential.data['seconds']:.2f}s, "
-          f"engine ({engine.workers} workers) {result.data['seconds']:.2f}s")
+    print(f"\ncampaign wall-clock: sequential {sequential.data['seconds']:.2f}s "
+          f"({sequential.data['configs_per_second']:.1f} configs/sec), "
+          f"engine ({engine.workers} workers) {result.data['seconds']:.2f}s "
+          f"({result.data['configs_per_second']:.1f} configs/sec)")
+    assert result.data["configs_per_second"] > 0
 
     # identical effort accounting: batching changes scheduling, not work
     assert result.data["builds"] == sequential.data["builds"]

@@ -5,15 +5,25 @@ The benchmarks reproduce the paper's tables and figures at benchmark scale
 campaign results are session scoped so that each figure pays only for the
 work it adds on top of the previous ones, exactly like the real
 measurement flow where bitstreams and profiles are cached.
+
+Setting ``REPRO_BENCH_SMOKE=1`` swaps in the scaled-down test workloads:
+the CI smoke job uses this to exercise the measurement hot path end to
+end in seconds; benchmarks guard assertions that only hold at benchmark
+scale behind the ``SMOKE`` flag.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.analysis import runtime_optimization
 from repro.platform import LiquidPlatform
-from repro.workloads import standard_workloads
+from repro.workloads import small_workloads, standard_workloads
+
+#: True when the reduced-scale CI smoke mode is active.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 
 
 @pytest.fixture(scope="session")
@@ -23,7 +33,7 @@ def platform():
 
 @pytest.fixture(scope="session")
 def workloads():
-    return standard_workloads()
+    return small_workloads() if SMOKE else standard_workloads()
 
 
 @pytest.fixture(scope="session")

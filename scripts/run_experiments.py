@@ -7,10 +7,12 @@ the same drivers.
 
 The measurement layer runs through the evaluation engine: pass
 ``--workers N`` to fan cache simulations out over N worker processes,
-``--store PATH`` to persist measurements (making a full reproduction
-resumable and shareable across runs), or ``--sequential`` to fall back to
-the bare platform.  Engine statistics (dedup hits, store hits, workers,
-wall clock) are printed at the end.
+``--store PATH`` to persist measurements (JSON-lines, or SQLite when the
+path ends in ``.sqlite``/``.db``; either makes a full reproduction
+resumable and shareable across runs), ``--profile`` to print per-stage
+wall-clock, or ``--sequential`` to fall back to the bare platform.
+Engine statistics (dedup hits, store hits, workers, wall clock) are
+printed at the end.
 """
 
 from __future__ import annotations
@@ -19,7 +21,7 @@ import argparse
 import os
 import time
 
-from repro.engine import ParallelEvaluator, ResultStore
+from repro.engine import ParallelEvaluator, open_store
 from repro.platform import LiquidPlatform
 from repro.workloads import standard_workloads
 from repro.analysis import (
@@ -44,18 +46,38 @@ def parse_args() -> argparse.Namespace:
         help="worker processes for parallel cache simulation (default: CPU count)")
     parser.add_argument(
         "--store", metavar="PATH", default=None,
-        help="JSON-lines result store; measurements found there are not re-simulated")
+        help="persistent result store; measurements found there are not re-simulated "
+             "(JSON-lines by default, SQLite when PATH ends in .sqlite/.db)")
     parser.add_argument(
         "--sequential", action="store_true",
         help="bypass the engine and evaluate through the bare LiquidPlatform")
-    return parser.parse_args()
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print per-stage wall-clock (trace generation, cache simulation, "
+             "model build, solve) from the engine statistics")
+    args = parser.parse_args()
+    if args.profile and args.sequential:
+        parser.error("--profile requires the engine backend; drop --sequential")
+    return args
 
 
 def make_backend(args: argparse.Namespace, *, with_store: bool = True):
     if args.sequential:
         return LiquidPlatform()
-    store = ResultStore(args.store) if (args.store and with_store) else None
+    store = open_store(args.store) if (args.store and with_store) else None
     return ParallelEvaluator(LiquidPlatform(), workers=args.workers, store=store)
+
+
+def print_stage_profile(platform) -> None:
+    """Per-stage wall-clock table of an engine backend (``--profile``)."""
+    stages = platform.stats.stage_report()
+    print(f"\n{'#' * 80}\n# Pipeline stage profile\n{'#' * 80}")
+    if not stages:
+        print("no stage timings recorded")
+        return
+    width = max(len(stage) for stage in stages)
+    for stage, seconds in stages.items():
+        print(f"  {stage:<{width}}  {seconds:9.3f}s")
 
 
 def main() -> None:
@@ -88,6 +110,8 @@ def main() -> None:
     if not args.sequential:
         show(engine_report(platform), "Evaluation engine statistics")
         print(platform.stats.summary())
+        if args.profile:
+            print_stage_profile(platform)
     print(f"\nTotal wall clock: {time.time() - start:.1f}s")
 
 

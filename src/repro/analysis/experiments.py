@@ -435,17 +435,20 @@ def scalability_study(
     table = Table("Campaign effort vs exhaustive exploration", ["quantity", "value"])
     builds = after["builds"] - before["builds"]   # includes the base configuration
     runs = after["runs"] - before["runs"]
+    throughput = runs / elapsed if elapsed > 0 else 0.0
     table.add_row(["perturbation variables", len(model.space)])
     table.add_row(["configurations built by the campaign (incl. base)", builds])
     table.add_row(["profiling runs by the campaign (incl. base)", runs])
     table.add_row(["exhaustive configurations", space.exhaustive_size()])
     table.add_row(["campaign wall-clock seconds", f"{elapsed:.2f}"])
+    table.add_row(["throughput (configs/sec)", f"{throughput:.1f}"])
     data: Dict[str, Any] = {
         "variables": len(model.space),
         "builds": builds,
         "runs": runs,
         "exhaustive": space.exhaustive_size(),
         "seconds": elapsed,
+        "configs_per_second": throughput,
     }
     tables = [table]
     stats = getattr(platform, "stats", None)

@@ -17,6 +17,7 @@ predicted and measured costs and the solver diagnostics.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
 
@@ -24,7 +25,7 @@ from repro.config.configuration import Configuration
 from repro.config.leon_space import leon_parameter_space
 from repro.config.parameters import ParameterSpace
 from repro.config.rules import require_valid
-from repro.engine.backend import EvaluationBackend
+from repro.engine.backend import EngineStats, EvaluationBackend
 from repro.errors import OptimizationError
 from repro.platform.liquid import LiquidPlatform
 from repro.platform.measurement import Measurement
@@ -114,6 +115,12 @@ class MicroarchTuner:
         self.solver = solver or BranchAndBoundSolver()
         self.campaign = OneFactorCampaign(self.platform, self.parameter_space)
 
+    def _record_stage(self, stage: str, seconds: float) -> None:
+        """Account a pipeline stage on an engine backend's statistics, if any."""
+        stats = getattr(self.platform, "stats", None)
+        if isinstance(stats, EngineStats):
+            stats.add_stage(stage, seconds)
+
     # -- pipeline --------------------------------------------------------------------------------
 
     def build_model(
@@ -156,9 +163,11 @@ class MicroarchTuner:
         recommended configuration (the paper's "actual synthesis" rows).
         """
         model = model or self.build_model(workload, parameters=parameters)
+        solve_start = time.perf_counter()
         problem = build_problem(
             model, weights, lut_nonlinear=lut_nonlinear, bram_nonlinear=bram_nonlinear)
         solution = self.solver.solve(problem)
+        self._record_stage("solve", time.perf_counter() - solve_start)
         configuration = require_valid(model.space.apply(solution.selection))
         predicted = predict_costs(model, solution.selection)
         actual = self.platform.measure(workload, configuration) if verify else None

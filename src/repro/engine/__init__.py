@@ -16,12 +16,21 @@ are written once against the protocol and scaled by swapping the backend.
 
 from repro.engine.backend import EngineStats, EvaluationBackend
 from repro.engine.parallel import ParallelEvaluator
-from repro.engine.store import ResultStore, workload_fingerprint
+from repro.engine.store import (
+    ResultStore,
+    ResultStoreBase,
+    SqliteResultStore,
+    open_store,
+    workload_fingerprint,
+)
 
 __all__ = [
     "EngineStats",
     "EvaluationBackend",
     "ParallelEvaluator",
     "ResultStore",
+    "ResultStoreBase",
+    "SqliteResultStore",
+    "open_store",
     "workload_fingerprint",
 ]

@@ -13,7 +13,7 @@ five methods.  Consumers express *sets* of evaluations through
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Protocol, Sequence, runtime_checkable
 
 from repro.config.configuration import Configuration
@@ -86,10 +86,21 @@ class EngineStats:
     cache_simulations: int = 0
     #: Cache simulations executed by the worker pool (rest ran inline).
     parallel_simulations: int = 0
+    #: Shared-decode groups -- distinct ``(trace, kind, linesize)`` decodes --
+    #: the cache simulations were batched into.
+    cache_groups: int = 0
     #: Batch calls served.
     batches: int = 0
     #: Wall-clock seconds spent inside the batch API.
     wall_seconds: float = 0.0
+    #: Per-stage wall-clock (trace_generation, cache_simulation, model_build,
+    #: solve), accumulated across batches; disjoint where the engine can
+    #: observe the stages directly.
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def add_stage(self, stage: str, seconds: float) -> None:
+        """Accumulate wall-clock time into one named pipeline stage."""
+        self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
 
     def as_dict(self) -> Dict[str, float]:
         """Row-ready mapping used by the experiment tables."""
@@ -101,9 +112,15 @@ class EngineStats:
             "store_writes": self.store_writes,
             "cache_simulations": self.cache_simulations,
             "parallel_simulations": self.parallel_simulations,
+            "cache_groups": self.cache_groups,
             "batches": self.batches,
             "wall_seconds": round(self.wall_seconds, 3),
         }
+
+    def stage_report(self) -> Dict[str, float]:
+        """Stage-name -> seconds mapping (``--profile`` output), rounded."""
+        return {stage: round(seconds, 3)
+                for stage, seconds in sorted(self.stage_seconds.items())}
 
     def summary(self) -> str:
         """One-line human readable summary for script output."""

@@ -15,17 +15,22 @@ synthesis and the timing model are vectorised/analytic and cheap.  The
    job order** (completion order never leaks into results) and let the
    platform assemble the final measurements.
 
-Because every cache job constructs a fresh :class:`~repro.microarch.cache.Cache`
-whose PRNG is seeded from its own geometry, a parallel batch is
-bit-identical to the sequential path -- including RANDOM replacement.
+Because every cache job replays a fresh cold-cache state whose PRNG is
+seeded from its own geometry, a parallel batch is bit-identical to the
+sequential path -- including RANDOM replacement.
 
 Worker processes receive the (configuration-independent) execution traces
-once, through the pool initializer, and then only exchange small
-``(workload, kind, geometry)`` job tuples and hit/miss counters.
+once, through the pool initializer, and then only exchange small job
+chunks and hit/miss counters.  Jobs are planned as *shared-decode
+groups*: every job chunk shares one ``(trace fingerprint, kind,
+linesize)`` key, so a worker decodes the trace into its columnar
+:class:`~repro.microarch.cachekernel.ColumnarTrace` view once (cached
+per process) and replays the whole configuration list against it.
 """
 
 from __future__ import annotations
 
+import math
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -36,9 +41,10 @@ import numpy as np
 
 from repro.config.configuration import Configuration
 from repro.engine.backend import EngineStats
-from repro.engine.store import ResultStore
+from repro.engine.store import ResultStoreBase
 from repro.fpga.report import ResourceReport
-from repro.microarch.cache import Cache, CacheConfig, CacheStatistics
+from repro.microarch.cache import CacheStatistics
+from repro.microarch.cachekernel import ColumnarTrace, decode_trace, simulate_many
 from repro.microarch.statistics import ExecutionStatistics
 from repro.platform.liquid import CacheJob, LiquidPlatform
 from repro.platform.measurement import Measurement
@@ -48,21 +54,37 @@ __all__ = ["ParallelEvaluator"]
 
 #: Per-worker trace registry, populated by the pool initializer.
 _WORKER_TRACES: Dict[str, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+#: Per-worker decoded columnar views, keyed by (workload, kind, linesize).
+_WORKER_VIEWS: Dict[Tuple[str, str, int], ColumnarTrace] = {}
 
 
 def _init_worker(traces: Dict[str, Tuple[np.ndarray, np.ndarray, np.ndarray]]) -> None:
-    global _WORKER_TRACES
+    global _WORKER_TRACES, _WORKER_VIEWS
     _WORKER_TRACES = traces
+    _WORKER_VIEWS = {}
 
 
-def _run_cache_job(job: CacheJob) -> Tuple[CacheJob, CacheStatistics]:
-    workload_key, kind, cache_cfg = job
-    pcs, data_addresses, data_is_write = _WORKER_TRACES[workload_key]
-    if kind == "icache":
-        statistics = Cache(cache_cfg).simulate(pcs)
-    else:
-        statistics = Cache(cache_cfg).simulate(data_addresses, data_is_write)
-    return job, statistics
+def _worker_view(workload_key: str, kind: str, linesize_bytes: int) -> ColumnarTrace:
+    key = (workload_key, kind, linesize_bytes)
+    view = _WORKER_VIEWS.get(key)
+    if view is None:
+        pcs, data_addresses, data_is_write = _WORKER_TRACES[workload_key]
+        if kind == "icache":
+            view = decode_trace(pcs, linesize_bytes=linesize_bytes)
+        else:
+            view = decode_trace(
+                data_addresses, data_is_write, linesize_bytes=linesize_bytes)
+        _WORKER_VIEWS[key] = view
+    return view
+
+
+def _run_cache_group(
+    chunk: Tuple[CacheJob, ...]
+) -> Tuple[Tuple[CacheJob, ...], List[CacheStatistics]]:
+    """Replay one shared-decode job chunk; results align with the chunk."""
+    workload_key, kind, first_cfg = chunk[0]
+    view = _worker_view(workload_key, kind, first_cfg.linesize_bytes)
+    return chunk, simulate_many(view, [job[2] for job in chunk])
 
 
 class ParallelEvaluator:
@@ -79,9 +101,11 @@ class ParallelEvaluator:
         Worker-process budget; ``None`` uses the CPU count.  With one
         worker (or tiny batches) simulations run inline.
     store:
-        Optional persistent :class:`~repro.engine.store.ResultStore`;
-        measurements found there skip simulation entirely and newly
-        computed ones are appended, which makes campaigns resumable.
+        Optional persistent result store (JSON-lines
+        :class:`~repro.engine.store.ResultStore` or
+        :class:`~repro.engine.store.SqliteResultStore`); measurements
+        found there skip simulation entirely and newly computed ones are
+        appended, which makes campaigns resumable.
     """
 
     def __init__(
@@ -89,7 +113,7 @@ class ParallelEvaluator:
         platform: Optional[LiquidPlatform] = None,
         *,
         workers: Optional[int] = None,
-        store: Optional[ResultStore] = None,
+        store: Optional[ResultStoreBase] = None,
         min_parallel_jobs: int = 2,
     ):
         self.platform = platform or LiquidPlatform()
@@ -180,6 +204,13 @@ class ParallelEvaluator:
         start = time.perf_counter()
         self.stats.batches += 1
 
+        # materialise every workload's trace up front so trace generation is
+        # accounted as its own stage instead of leaking into cache planning
+        trace_start = time.perf_counter()
+        for workload in batches:
+            workload.trace()
+        self.stats.add_stage("trace_generation", time.perf_counter() - trace_start)
+
         plan: List[Tuple[Workload, List[Configuration], Dict[Tuple, Measurement]]] = []
         jobs: List[CacheJob] = []
         seen_jobs = set()
@@ -211,8 +242,11 @@ class ParallelEvaluator:
                     seen_jobs.add(job)
                     jobs.append(job)
 
+        cache_start = time.perf_counter()
         self._execute_cache_jobs({workload: missing for workload, missing, _ in plan}, jobs)
+        self.stats.add_stage("cache_simulation", time.perf_counter() - cache_start)
 
+        build_start = time.perf_counter()
         results: Dict[Workload, List[Measurement]] = {}
         for workload, missing, ready in plan:
             for config in missing:
@@ -221,6 +255,7 @@ class ParallelEvaluator:
                 if self.store is not None and self.store.put(workload, measurement):
                     self.stats.store_writes += 1
             results[workload] = [ready[c.key()] for c in batches[workload]]
+        self.stats.add_stage("model_build", time.perf_counter() - build_start)
 
         self.stats.wall_seconds += time.perf_counter() - start
         return results
@@ -234,6 +269,36 @@ class ParallelEvaluator:
             return None  # in-process memo is cheaper and already counted
         return self.store.get(workload, config)
 
+    @staticmethod
+    def _plan_groups(jobs: Sequence[CacheJob]) -> List[List[CacheJob]]:
+        """Group pending jobs by their shared decode: (trace, kind, linesize).
+
+        Every group's jobs replay one decoded columnar view; order within
+        a group and across groups follows first-need order, so the plan
+        is deterministic for a given batch.
+        """
+        groups: Dict[Tuple[str, str, int], List[CacheJob]] = {}
+        for job in jobs:
+            workload_key, kind, cache_cfg = job
+            groups.setdefault(
+                (workload_key, kind, cache_cfg.linesize_bytes), []).append(job)
+        return list(groups.values())
+
+    def _chunk_groups(self, groups: List[List[CacheJob]]) -> List[Tuple[CacheJob, ...]]:
+        """Split large shared-decode groups so one group can span all workers.
+
+        The per-process view cache makes the duplicated decode cheap (one
+        per worker per group), while chunking keeps e.g. the Figure-2
+        sweep -- one workload, one linesize, dozens of geometries --
+        from serialising on a single worker.
+        """
+        chunks: List[Tuple[CacheJob, ...]] = []
+        for group in groups:
+            size = max(1, math.ceil(len(group) / self.workers))
+            chunks.extend(
+                tuple(group[i:i + size]) for i in range(0, len(group), size))
+        return chunks
+
     def _execute_cache_jobs(
         self, batches: Mapping[Workload, Sequence[Configuration]], jobs: List[CacheJob]
     ) -> None:
@@ -242,10 +307,14 @@ class ParallelEvaluator:
             return
         self.stats.cache_simulations += len(jobs)
         workloads_by_key = {w.fingerprint(): w for w in batches}
+        groups = self._plan_groups(jobs)
+        self.stats.cache_groups += len(groups)
         if self.workers <= 1 or len(jobs) < self.min_parallel_jobs:
-            for job in jobs:
-                self.platform.install_cache_run(
-                    job, self.platform.simulate_cache_job(workloads_by_key[job[0]], job))
+            for group in groups:
+                workload = workloads_by_key[group[0][0]]
+                for job, statistics in self.platform.simulate_cache_jobs(
+                        workload, group).items():
+                    self.platform.install_cache_run(job, statistics)
             return
 
         needed = {key for key, _, _ in jobs}
@@ -257,10 +326,11 @@ class ParallelEvaluator:
         completed: Dict[CacheJob, CacheStatistics] = {}
         try:
             pool = self._ensure_pool(traces)
-            futures = [pool.submit(_run_cache_job, job) for job in jobs]
+            futures = [pool.submit(_run_cache_group, chunk)
+                       for chunk in self._chunk_groups(groups)]
             for future in as_completed(futures):
-                job, statistics = future.result()
-                completed[job] = statistics
+                chunk, statistics = future.result()
+                completed.update(zip(chunk, statistics))
             self.stats.parallel_simulations += len(jobs)
         except (OSError, BrokenProcessPool):
             # pragma: no cover - restricted sandboxes or killed workers

@@ -1,11 +1,17 @@
-"""Persistent measurement store (JSON-lines, shareable across processes).
+"""Persistent measurement stores (JSON-lines and SQLite backends).
 
-The store plays the role PyExperimenter-style harnesses give their result
+A store plays the role PyExperimenter-style harnesses give their result
 database: a campaign writes every :class:`~repro.platform.Measurement` it
 produces, keyed by ``(workload fingerprint, configuration key)``, and any
 later campaign -- in this process or another -- pulls finished results
 instead of re-simulating them.  That makes full paper reproductions
 resumable and lets several runs share one cache directory.
+
+Two backends implement the same interface (:class:`ResultStoreBase`):
+the append-only JSON-lines :class:`ResultStore` (default, human
+greppable, safely shareable via append) and :class:`SqliteResultStore`
+(indexed lookups without loading the whole file, suited to large
+campaign archives).  :func:`open_store` picks by file extension.
 
 Two details keep lookups sound:
 
@@ -26,6 +32,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sqlite3
 from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
@@ -39,7 +46,17 @@ from repro.microarch.timing import TimingParameters
 from repro.platform.measurement import Measurement
 from repro.workloads.base import Workload
 
-__all__ = ["ResultStore", "workload_fingerprint", "platform_context"]
+__all__ = [
+    "ResultStore",
+    "ResultStoreBase",
+    "SqliteResultStore",
+    "open_store",
+    "workload_fingerprint",
+    "platform_context",
+]
+
+#: File extensions that select the SQLite backend in :func:`open_store`.
+SQLITE_EXTENSIONS = (".sqlite", ".sqlite3", ".db")
 
 
 def workload_fingerprint(workload: Workload) -> str:
@@ -86,7 +103,104 @@ def _cache_stats_from(data: Optional[Dict[str, int]]) -> Optional[CacheStatistic
     return None if data is None else CacheStatistics(**data)
 
 
-class ResultStore:
+class ResultStoreBase:
+    """Context stamping and measurement (de)serialisation shared by backends.
+
+    Concrete backends provide :meth:`put`, :meth:`get`, ``__len__`` and
+    ``__contains__``; the base class owns the platform-context handling
+    so every backend keys records identically and survives calibration
+    changes the same way.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        *,
+        device: FpgaDevice = XCV2000E,
+        timing_parameters: Optional[TimingParameters] = None,
+    ):
+        self.path = path
+        self.device = device
+        self.context = platform_context(device, timing_parameters or TimingParameters())
+
+    def bind_platform(self, device: FpgaDevice, timing_parameters: TimingParameters) -> None:
+        """Re-key the store to a platform's actual device and timing calibration.
+
+        The engine calls this so that records are always stamped with --
+        and looked up under -- the wrapped platform's context, not this
+        store's constructor defaults.
+        """
+        context = platform_context(device, timing_parameters)
+        if context == self.context and device == self.device:
+            return
+        self.device = device
+        self.context = context
+        self._context_changed()
+
+    def _context_changed(self) -> None:
+        """Backend hook: the context filter changed after construction."""
+
+    # -- measurement (de)serialisation ---------------------------------------------------
+
+    def _encode(self, workload: Workload, measurement: Measurement) -> Dict[str, Any]:
+        """Serialise one measurement into a context-stamped plain-data record."""
+        fingerprint = workload_fingerprint(workload)
+        statistics = measurement.statistics
+        return {
+            "context": self.context,
+            "fingerprint": fingerprint,
+            "config_key": _config_key_string(measurement.configuration),
+            "workload": measurement.workload,
+            "config": measurement.configuration.as_dict(),
+            "resources": {
+                "device": measurement.resources.device.name,
+                "luts": measurement.resources.luts,
+                "brams": measurement.resources.brams,
+                "lut_breakdown": dict(measurement.resources.lut_breakdown),
+                "bram_breakdown": dict(measurement.resources.bram_breakdown),
+            },
+            "statistics": {
+                "instruction_count": statistics.instruction_count,
+                "cycles": statistics.cycles,
+                "cycle_breakdown": dict(statistics.cycle_breakdown),
+                "icache": _cache_stats_dict(statistics.icache),
+                "dcache": _cache_stats_dict(statistics.dcache),
+                "window_overflows": statistics.window_overflows,
+                "window_underflows": statistics.window_underflows,
+            },
+        }
+
+    def _measurement_from(self, record: Dict[str, Any], config: Configuration) -> Measurement:
+        if record["resources"]["device"] != self.device.name:  # pragma: no cover - guard
+            raise ValueError("stored measurement targets a different device")
+        resources = ResourceReport(
+            device=self.device,
+            luts=record["resources"]["luts"],
+            brams=record["resources"]["brams"],
+            lut_breakdown=record["resources"]["lut_breakdown"],
+            bram_breakdown=record["resources"]["bram_breakdown"],
+        )
+        stats = record["statistics"]
+        statistics = ExecutionStatistics(
+            workload=record["workload"],
+            configuration=config,
+            instruction_count=stats["instruction_count"],
+            cycles=stats["cycles"],
+            cycle_breakdown=stats["cycle_breakdown"],
+            icache=_cache_stats_from(stats["icache"]),
+            dcache=_cache_stats_from(stats["dcache"]),
+            window_overflows=stats["window_overflows"],
+            window_underflows=stats["window_underflows"],
+        )
+        return Measurement(
+            workload=record["workload"],
+            configuration=config,
+            resources=resources,
+            statistics=statistics,
+        )
+
+
+class ResultStore(ResultStoreBase):
     """Append-only JSON-lines store of measurements.
 
     ``path=None`` keeps the store purely in memory (deduplication within
@@ -102,26 +216,13 @@ class ResultStore:
         device: FpgaDevice = XCV2000E,
         timing_parameters: Optional[TimingParameters] = None,
     ):
-        self.path = path
-        self.device = device
-        self.context = platform_context(device, timing_parameters or TimingParameters())
+        super().__init__(path, device=device, timing_parameters=timing_parameters)
         self._records: Dict[Tuple[str, str], Dict[str, Any]] = {}
         if path and os.path.exists(path):
             self._load(path)
 
-    def bind_platform(self, device: FpgaDevice, timing_parameters: TimingParameters) -> None:
-        """Re-key the store to a platform's actual device and timing calibration.
-
-        The engine calls this so that records are always stamped with --
-        and looked up under -- the wrapped platform's context, not this
-        store's constructor defaults.  A context change re-reads the file
-        under the new filter.
-        """
-        context = platform_context(device, timing_parameters)
-        if context == self.context and device == self.device:
-            return
-        self.device = device
-        self.context = context
+    def _context_changed(self) -> None:
+        """A context change re-reads the file under the new filter."""
         self._records.clear()
         if self.path and os.path.exists(self.path):
             self._load(self.path)
@@ -160,38 +261,15 @@ class ResultStore:
     def __contains__(self, key: Tuple[str, str]) -> bool:
         return key in self._records
 
-    # -- measurement (de)serialisation ---------------------------------------------------
+    # -- store interface -----------------------------------------------------------------
 
     def put(self, workload: Workload, measurement: Measurement) -> bool:
         """Persist one measurement; returns ``False`` when already stored."""
-        fingerprint = workload_fingerprint(workload)
-        key = (fingerprint, _config_key_string(measurement.configuration))
+        key = (workload_fingerprint(workload),
+               _config_key_string(measurement.configuration))
         if key in self._records:
-            return False
-        statistics = measurement.statistics
-        record = {
-            "context": self.context,
-            "fingerprint": fingerprint,
-            "config_key": key[1],
-            "workload": measurement.workload,
-            "config": measurement.configuration.as_dict(),
-            "resources": {
-                "device": measurement.resources.device.name,
-                "luts": measurement.resources.luts,
-                "brams": measurement.resources.brams,
-                "lut_breakdown": dict(measurement.resources.lut_breakdown),
-                "bram_breakdown": dict(measurement.resources.bram_breakdown),
-            },
-            "statistics": {
-                "instruction_count": statistics.instruction_count,
-                "cycles": statistics.cycles,
-                "cycle_breakdown": dict(statistics.cycle_breakdown),
-                "icache": _cache_stats_dict(statistics.icache),
-                "dcache": _cache_stats_dict(statistics.dcache),
-                "window_overflows": statistics.window_overflows,
-                "window_underflows": statistics.window_underflows,
-            },
-        }
+            return False  # cheap membership test before the full encode
+        record = self._encode(workload, measurement)
         self._records[key] = record
         self._append(record)
         return True
@@ -204,31 +282,92 @@ class ResultStore:
             return None
         return self._measurement_from(record, config)
 
-    def _measurement_from(self, record: Dict[str, Any], config: Configuration) -> Measurement:
-        if record["resources"]["device"] != self.device.name:  # pragma: no cover - guard
-            raise ValueError("stored measurement targets a different device")
-        resources = ResourceReport(
-            device=self.device,
-            luts=record["resources"]["luts"],
-            brams=record["resources"]["brams"],
-            lut_breakdown=record["resources"]["lut_breakdown"],
-            bram_breakdown=record["resources"]["bram_breakdown"],
-        )
-        stats = record["statistics"]
-        statistics = ExecutionStatistics(
-            workload=record["workload"],
-            configuration=config,
-            instruction_count=stats["instruction_count"],
-            cycles=stats["cycles"],
-            cycle_breakdown=stats["cycle_breakdown"],
-            icache=_cache_stats_from(stats["icache"]),
-            dcache=_cache_stats_from(stats["dcache"]),
-            window_overflows=stats["window_overflows"],
-            window_underflows=stats["window_underflows"],
-        )
-        return Measurement(
-            workload=record["workload"],
-            configuration=config,
-            resources=resources,
-            statistics=statistics,
-        )
+
+class SqliteResultStore(ResultStoreBase):
+    """SQLite-backed measurement store behind the same interface.
+
+    Records live in one ``measurements`` table keyed by ``(context,
+    fingerprint, config_key)``, so lookups are indexed instead of
+    replaying a whole JSON-lines file, and stores written under several
+    platform calibrations coexist in one database file.  Selected by
+    :func:`open_store` when the path ends in ``.sqlite``/``.db``.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        device: FpgaDevice = XCV2000E,
+        timing_parameters: Optional[TimingParameters] = None,
+    ):
+        super().__init__(path, device=device, timing_parameters=timing_parameters)
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._conn = sqlite3.connect(path)
+        # WAL + NORMAL keeps per-put commits durable without paying a full
+        # journal fsync per measurement on large campaign writes
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS measurements ("
+            " context TEXT NOT NULL,"
+            " fingerprint TEXT NOT NULL,"
+            " config_key TEXT NOT NULL,"
+            " record TEXT NOT NULL,"
+            " PRIMARY KEY (context, fingerprint, config_key))")
+        self._conn.commit()
+
+    # a context change needs no hook: every query filters on the live context
+
+    def close(self) -> None:
+        """Close the underlying database connection."""
+        self._conn.close()
+
+    def __len__(self) -> int:
+        row = self._conn.execute(
+            "SELECT COUNT(*) FROM measurements WHERE context = ?",
+            (self.context,)).fetchone()
+        return int(row[0])
+
+    def __contains__(self, key: Tuple[str, str]) -> bool:
+        fingerprint, config_key = key
+        row = self._conn.execute(
+            "SELECT 1 FROM measurements"
+            " WHERE context = ? AND fingerprint = ? AND config_key = ?",
+            (self.context, fingerprint, config_key)).fetchone()
+        return row is not None
+
+    def put(self, workload: Workload, measurement: Measurement) -> bool:
+        """Persist one measurement; returns ``False`` when already stored."""
+        record = self._encode(workload, measurement)
+        cursor = self._conn.execute(
+            "INSERT OR IGNORE INTO measurements"
+            " (context, fingerprint, config_key, record) VALUES (?, ?, ?, ?)",
+            (self.context, record["fingerprint"], record["config_key"],
+             json.dumps(record, default=_jsonable)))
+        self._conn.commit()
+        return cursor.rowcount > 0
+
+    def get(self, workload: Workload, config: Configuration) -> Optional[Measurement]:
+        """The stored measurement for ``(workload, config)``, or ``None``."""
+        row = self._conn.execute(
+            "SELECT record FROM measurements"
+            " WHERE context = ? AND fingerprint = ? AND config_key = ?",
+            (self.context, workload_fingerprint(workload),
+             _config_key_string(config))).fetchone()
+        if row is None:
+            return None
+        return self._measurement_from(json.loads(row[0]), config)
+
+
+def open_store(path: Optional[str], **kwargs: Any) -> ResultStoreBase:
+    """Open the result-store backend matching ``path``'s extension.
+
+    ``.sqlite``/``.sqlite3``/``.db`` select :class:`SqliteResultStore`;
+    anything else (including ``None`` for in-memory) gets the JSON-lines
+    :class:`ResultStore`.  Keyword arguments pass through to the backend.
+    """
+    if path and path.lower().endswith(SQLITE_EXTENSIONS):
+        return SqliteResultStore(path, **kwargs)
+    return ResultStore(path, **kwargs)

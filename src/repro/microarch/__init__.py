@@ -1,6 +1,12 @@
 """Cycle-level microarchitecture simulation: caches, pipeline timing, traces."""
 
 from repro.microarch.cache import Cache, CacheConfig, CacheStatistics
+from repro.microarch.cachekernel import (
+    ColumnarTrace,
+    decode_trace,
+    replay,
+    simulate_many,
+)
 from repro.microarch.functional import FunctionalSimulator, SimulationResult
 from repro.microarch.memory import Memory
 from repro.microarch.processor import ProcessorModel, ProgramRun
@@ -16,6 +22,10 @@ __all__ = [
     "Cache",
     "CacheConfig",
     "CacheStatistics",
+    "ColumnarTrace",
+    "decode_trace",
+    "replay",
+    "simulate_many",
     "FunctionalSimulator",
     "SimulationResult",
     "Memory",

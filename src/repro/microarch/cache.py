@@ -196,14 +196,20 @@ class Cache:
             marks a store.  When omitted every access is a read (the
             instruction-cache case).
         vectorized:
-            ``None`` (default) picks the fastest exact path automatically;
-            ``False`` forces the scalar per-access reference loop (used by
-            the equivalence tests and the hot-path benchmarks).
+            ``None`` (default) dispatches to the columnar kernel layer
+            (:mod:`repro.microarch.cachekernel`); ``False`` forces the
+            scalar per-access reference loop (the oracle of the kernel
+            property tests and the hot-path benchmarks).
         """
         cfg = self.config
+        if vectorized is not False:
+            from repro.microarch.cachekernel import decode_trace
+
+            view = decode_trace(addresses, writes, linesize_bytes=cfg.linesize_bytes)
+            return self.simulate_view(view)
+
         lines_per_way = cfg.lines_per_way
-        linesize = cfg.linesize_bytes
-        line_numbers = np.asarray(addresses, dtype=np.int64) // linesize
+        line_numbers = np.asarray(addresses, dtype=np.int64) // cfg.linesize_bytes
         indices = line_numbers % lines_per_way
         tags = line_numbers // lines_per_way
         if writes is None:
@@ -216,35 +222,6 @@ class Cache:
         read_misses = 0
         write_misses = 0
         write_total = int(np.count_nonzero(writes_arr))
-
-        # Fully vectorized path for direct-mapped caches.  Direct-mapped
-        # points dominate the paper's exhaustive dcache sweep (Figure 2),
-        # so avoiding the per-access Python loop there is the single
-        # biggest win of the measurement hot path.
-        if vectorized is not False and cfg.ways == 1 and len(line_numbers):
-            return self._simulate_direct_mapped(indices, tags, writes_arr)
-
-        # Fast path for read-only traces (the instruction cache): when every
-        # index holds no more distinct lines than there are ways, no eviction
-        # can ever happen, so the misses are exactly the compulsory ones.
-        # This is the common case for the paper's benchmark kernels, whose
-        # text fits comfortably in the instruction cache.
-        if vectorized is not False and write_total == 0 and len(line_numbers):
-            unique_lines = np.unique(line_numbers)
-            unique_indices = unique_lines % lines_per_way
-            _, per_index_counts = np.unique(unique_indices, return_counts=True)
-            if per_index_counts.max() <= cfg.ways:
-                # install every line once so subsequent simulate() calls see them
-                for line in unique_lines:
-                    self._tick += 1
-                    self._fill(int(line % lines_per_way), int(line // lines_per_way))
-                return CacheStatistics(
-                    accesses=len(line_numbers),
-                    read_accesses=len(line_numbers),
-                    write_accesses=0,
-                    read_misses=int(len(unique_lines)),
-                    write_misses=0,
-                )
 
         # local bindings for speed in the hot loop
         tag_store = self._tags
@@ -305,69 +282,22 @@ class Cache:
             write_misses=write_misses,
         )
 
-    # -- vectorized direct-mapped replay -------------------------------------------------
+    # -- columnar kernel dispatch --------------------------------------------------------
 
-    def _simulate_direct_mapped(
-        self,
-        indices: np.ndarray,
-        tags: np.ndarray,
-        writes_arr: np.ndarray,
-    ) -> CacheStatistics:
-        """Tag-replay of a direct-mapped cache without the per-access loop.
+    def simulate_view(self, view) -> CacheStatistics:
+        """Replay a pre-decoded :class:`~repro.microarch.cachekernel.ColumnarTrace`.
 
-        With a single way the stored tag of a line index only ever changes
-        on a *read* (write-through, no write-allocate), after which it
-        always equals that read's tag.  An access therefore hits exactly
-        when its tag matches the most recent earlier read of the same
-        index -- or the pre-existing tag store content when there is none.
-        That "previous read in my group" relation is computed with a
-        stable sort by index plus a running maximum, so the whole replay
-        is NumPy reductions.  Replacement policy and the RNG are never
-        consulted (a 1-way cache has no victim choice), which keeps the
-        statistics and the final tag store bit-identical to the scalar
-        reference loop.
+        This is the batch-friendly entry point: callers that evaluate
+        many geometries against one trace decode it once per line size
+        (see :meth:`ExecutionTrace.columnar_view
+        <repro.microarch.trace.ExecutionTrace.columnar_view>`) and hand
+        the shared view to each cache.  The replay mutates this cache's
+        tag/age/FIFO stores and PRNG exactly like the scalar loop, so
+        interleaving ``simulate`` and ``simulate_view`` calls is sound.
         """
-        n = len(indices)
-        order = np.argsort(indices, kind="stable")
-        idx_s = indices[order]
-        tag_s = tags[order]
-        read_s = ~writes_arr[order]
+        from repro.microarch import cachekernel
 
-        group_start = np.empty(n, dtype=bool)
-        group_start[0] = True
-        group_start[1:] = idx_s[1:] != idx_s[:-1]
-        start_positions = np.flatnonzero(group_start)
-        group_lengths = np.diff(np.append(start_positions, n))
-        start_per_elem = np.repeat(start_positions, group_lengths)
-
-        positions = np.arange(n, dtype=np.int64)
-        last_read_pos = np.maximum.accumulate(np.where(read_s, positions, -1))
-        prev_read_pos = np.empty(n, dtype=np.int64)
-        prev_read_pos[0] = -1
-        prev_read_pos[1:] = last_read_pos[:-1]
-        # a "previous read" carried over from a different index group is
-        # invalid; fall back to the tag store's current content there.
-        has_prev = prev_read_pos >= start_per_elem
-        initial_tags = self._tags[idx_s, 0]  # -1 marks invalid, never matches
-        effective_tag = np.where(has_prev, tag_s[np.maximum(prev_read_pos, 0)], initial_tags)
-        hit_s = effective_tag == tag_s
-
-        miss_s = ~hit_s
-        read_misses = int(np.count_nonzero(read_s & miss_s))
-        write_misses = int(np.count_nonzero(~read_s & miss_s))
-
-        # final tag store state: the last read of each index group wins
-        group_ends = np.append(start_positions[1:], n) - 1
-        final_read_pos = last_read_pos[group_ends]
-        touched = final_read_pos >= start_positions
-        self._tags[idx_s[start_positions[touched]], 0] = tag_s[final_read_pos[touched]]
-        self._tick += n
-
-        write_total = int(np.count_nonzero(writes_arr))
-        return CacheStatistics(
-            accesses=n,
-            read_accesses=n - write_total,
-            write_accesses=write_total,
-            read_misses=read_misses,
-            write_misses=write_misses,
-        )
+        state = cachekernel.KernelState(self._tags, self._age, self._fifo, self._tick)
+        statistics = cachekernel.replay(view, self.config, state=state, rng=self._rng)
+        self._tick = state.tick
+        return statistics

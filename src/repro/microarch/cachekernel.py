@@ -1,0 +1,471 @@
+"""Columnar cache-simulation kernel: decode once, replay many.
+
+This module is the pure-function layer underneath
+:class:`~repro.microarch.cache.Cache`.  It splits trace-driven cache
+simulation into two stages with very different sharing profiles:
+
+* **Decode** (:func:`decode_trace`) is a property of the *trace and the
+  line size only*: byte addresses become cache-line numbers, and maximal
+  runs of consecutive accesses to the same line are compressed into one
+  *event* each.  Within such a run the line's presence cannot change
+  except at the run's first read (write misses do not allocate in the
+  LEON2 write-through, no-write-allocate data cache), so an event fully
+  describes the run with its line number, the position of its first
+  read, the number of leading writes and its last access position.  A
+  decoded :class:`ColumnarTrace` is therefore shared by *every* cache
+  geometry and replacement policy with that line size -- the paper's
+  exhaustive dcache sweep decodes each workload trace twice (one per
+  line size) instead of once per configuration.
+
+* **Replay** (:func:`replay`) turns the surviving potential-miss events
+  into hit/miss statistics for one concrete geometry.  Direct-mapped
+  caches replay as pure NumPy reductions (a stable sort by set index
+  plus a running maximum).  Set-associative caches replay
+  *rank-synchronously*: events are grouped by set, and iteration ``k``
+  applies the ``k``-th event of every set at once with vectorised
+  LRU / LRR(FIFO) / RANDOM victim selection, so the Python-level loop
+  count is the maximum events-per-set, never the access count.
+
+Both paths are bit-identical to the scalar per-access reference loop in
+:meth:`Cache.simulate(vectorized=False) <repro.microarch.cache.Cache.simulate>`:
+statistics, final tag/age/FIFO state, and the seeded RANDOM stream
+(victims are pre-drawn positionally, one per *access*, exactly like the
+reference) all match, which the property tests in
+``tests/test_cache_vectorized.py`` enforce for every policy and
+associativity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config.leon_space import Replacement
+from repro.errors import ConfigurationError
+from repro.microarch.cache import CacheConfig, CacheStatistics
+
+__all__ = [
+    "ColumnarTrace",
+    "KernelState",
+    "decode_trace",
+    "fresh_state",
+    "replay",
+    "simulate_many",
+]
+
+
+@dataclass(frozen=True)
+class ColumnarTrace:
+    """Run-compressed columnar view of one address trace at one line size.
+
+    One *event* per maximal run of consecutive same-line accesses.  The
+    positions stored per event index into the original access stream, so
+    tick accounting and the positional RANDOM victim stream of the
+    scalar reference are reproducible without the uncompressed arrays.
+    """
+
+    #: Line size the addresses were decoded against.
+    linesize_bytes: int
+    #: Length of the original access stream.
+    accesses: int
+    #: Number of writes in the original access stream.
+    write_accesses: int
+    #: Cache-line number of each event's run.
+    event_line: np.ndarray
+    #: Original position of the run's first read; ``accesses`` when the run has none.
+    event_first_read: np.ndarray
+    #: Original position of the run's last access.
+    event_last_pos: np.ndarray
+    #: Number of writes preceding the run's first read (the whole run if no read).
+    event_writes_before_read: np.ndarray
+    #: Cached per-set potential-miss views, keyed by ``lines_per_way``.
+    _set_views: Dict[int, "_SetView"] = field(
+        default_factory=dict, repr=False, compare=False)
+
+    def __len__(self) -> int:
+        return int(self.event_line.shape[0])
+
+    def set_view(self, lines_per_way: int) -> "_SetView":
+        """Chain-collapsed per-set event stream for one set count (cached).
+
+        Shared by every associativity and replacement policy with this
+        ``lines_per_way``: the mapping of lines to sets -- and therefore
+        which events can possibly miss -- depends only on the set count.
+        """
+        view = self._set_views.get(lines_per_way)
+        if view is None:
+            view = _build_set_view(self, lines_per_way)
+            self._set_views[lines_per_way] = view
+        return view
+
+    @property
+    def event_has_read(self) -> np.ndarray:
+        """Boolean mask of events whose run contains at least one read."""
+        return self.event_first_read < self.accesses
+
+    @property
+    def compression(self) -> float:
+        """Accesses per event (1.0 means no consecutive same-line runs)."""
+        return self.accesses / len(self) if len(self) else 1.0
+
+
+def decode_trace(
+    addresses: np.ndarray,
+    writes: Optional[np.ndarray] = None,
+    *,
+    linesize_bytes: int,
+) -> ColumnarTrace:
+    """Decode an address trace into a :class:`ColumnarTrace` for one line size.
+
+    ``writes`` is the optional store mask aligned with ``addresses``
+    (omitted for the read-only instruction-cache case).  The result is
+    geometry- and policy-independent: every configuration with this line
+    size replays the same decoded view.
+    """
+    addresses = np.asarray(addresses, dtype=np.int64)
+    n = len(addresses)
+    if writes is None:
+        writes_arr = np.zeros(n, dtype=bool)
+    else:
+        writes_arr = np.asarray(writes, dtype=bool)
+        if writes_arr.shape != addresses.shape:
+            raise ConfigurationError("writes mask must match the address trace length")
+    write_total = int(np.count_nonzero(writes_arr))
+    lines = addresses // linesize_bytes
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return ColumnarTrace(linesize_bytes, 0, 0, empty, empty, empty, empty)
+
+    boundary = np.empty(n, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = lines[1:] != lines[:-1]
+    run_start = np.flatnonzero(boundary)
+    run_end = np.append(run_start[1:], n)  # exclusive
+
+    positions = np.arange(n, dtype=np.int64)
+    # first read of each run: min over read positions, n as "no read" sentinel
+    read_positions = np.where(writes_arr, n, positions)
+    first_read = np.minimum.reduceat(read_positions, run_start)
+    # every access before a run's first read is a write by construction
+    writes_before = np.where(first_read < n, first_read - run_start, run_end - run_start)
+
+    return ColumnarTrace(
+        linesize_bytes=linesize_bytes,
+        accesses=n,
+        write_accesses=write_total,
+        event_line=lines[run_start],
+        event_first_read=first_read,
+        event_last_pos=run_end - 1,
+        event_writes_before_read=writes_before,
+    )
+
+
+@dataclass
+class KernelState:
+    """Mutable replay state, layout-compatible with :class:`Cache`'s stores."""
+
+    #: ``(lines_per_way, ways)`` tag store; -1 marks an invalid way.
+    tags: np.ndarray
+    #: Per-way replacement ages (LRU recency; fill tick otherwise).
+    age: np.ndarray
+    #: Per-set LRR/FIFO replacement pointer.
+    fifo: np.ndarray
+    #: Accesses replayed so far (ages are ticks: position + tick + 1).
+    tick: int = 0
+
+
+def fresh_state(config: CacheConfig) -> KernelState:
+    """Cold-cache state for one geometry (what a fresh :class:`Cache` holds)."""
+    lines = config.lines_per_way
+    return KernelState(
+        tags=np.full((lines, config.ways), -1, dtype=np.int64),
+        age=np.zeros((lines, config.ways), dtype=np.int64),
+        fifo=np.zeros(lines, dtype=np.int64),
+        tick=0,
+    )
+
+
+def replay(
+    view: ColumnarTrace,
+    config: CacheConfig,
+    state: Optional[KernelState] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> CacheStatistics:
+    """Replay a decoded trace against one geometry, mutating ``state``.
+
+    With ``state``/``rng`` omitted the replay starts from a cold cache
+    with the geometry's own seeded PRNG -- exactly what a fresh
+    :class:`~repro.microarch.cache.Cache` would do.
+    """
+    if view.linesize_bytes != config.linesize_bytes:
+        raise ConfigurationError(
+            f"decoded view has linesize {view.linesize_bytes}, "
+            f"configuration expects {config.linesize_bytes}")
+    if state is None:
+        state = fresh_state(config)
+    if rng is None:
+        rng = np.random.default_rng(config.seed)
+    n = view.accesses
+    # the scalar reference pre-draws one victim per *access* regardless of
+    # policy or use; match it so the stream position stays identical
+    random_victims = rng.integers(0, config.ways, size=n) if config.ways > 1 else None
+
+    if n == 0:
+        return CacheStatistics(0, 0, 0, 0, 0)
+    if config.ways == 1:
+        read_misses, write_misses = _replay_direct_mapped(view, config, state)
+    else:
+        read_misses, write_misses = _replay_set_associative(
+            view, config, state, random_victims)
+    state.tick += n
+    return CacheStatistics(
+        accesses=n,
+        read_accesses=n - view.write_accesses,
+        write_accesses=view.write_accesses,
+        read_misses=read_misses,
+        write_misses=write_misses,
+    )
+
+
+def simulate_many(
+    view: ColumnarTrace, configs: Sequence[CacheConfig]
+) -> List[CacheStatistics]:
+    """Replay one decoded trace against many cold-cache configurations.
+
+    Equivalent to ``[Cache(c).simulate(addresses, writes) for c in configs]``
+    but the columnar decode is paid once for the whole batch.  Every
+    configuration must share the view's line size (group by line size
+    before calling; :meth:`LiquidPlatform.simulate_cache_jobs
+    <repro.platform.liquid.LiquidPlatform.simulate_cache_jobs>` does).
+    """
+    return [replay(view, config) for config in configs]
+
+
+# -- per-set potential-miss views --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _SetView:
+    """Chain-collapsed per-set event stream for one ``lines_per_way``.
+
+    Events are grouped by set (per-set temporal order preserved) and
+    maximal chains of *consecutive same-line events within a set* are
+    collapsed into one potential-miss event each: between chain members
+    no other line of that set is accessed, so the line's presence cannot
+    change except at the chain's first read -- the same algebra that
+    collapses same-line runs at decode time, applied after the
+    set mapping is known.  Arrays come in two orderings: set-grouped
+    (``set_index`` .. ``has_read``, used by the direct-mapped replay) and
+    rank-ordered (``r_*``, used by the rank-synchronous set-associative
+    replay, where slice ``k`` of ``rank_bounds`` holds every set's
+    ``k``-th event).
+    """
+
+    # set-grouped order: each populated set's events, concatenated
+    set_index: np.ndarray
+    tag: np.ndarray
+    first_read: np.ndarray
+    last_pos: np.ndarray
+    w_pre: np.ndarray
+    has_read: np.ndarray
+    group_starts: np.ndarray
+    group_start_per_event: np.ndarray
+    # rank order: the k-th event of every set is contiguous
+    rank_bounds: np.ndarray
+    r_set: np.ndarray
+    r_tag: np.ndarray
+    r_first_read: np.ndarray
+    r_last_pos: np.ndarray
+    r_w_pre: np.ndarray
+    r_has_read: np.ndarray
+
+
+def _build_set_view(view: ColumnarTrace, lines_per_way: int) -> _SetView:
+    n = view.accesses
+    indices = view.event_line % lines_per_way
+    order = np.argsort(indices, kind="stable")
+    idx_s = indices[order]
+    line_s = view.event_line[order]
+    first_read_s = view.event_first_read[order]
+    last_pos_s = view.event_last_pos[order]
+    w_pre_s = view.event_writes_before_read[order]
+    events = len(idx_s)
+
+    # chains: consecutive events on the same line within the same set
+    chain_start = np.empty(events, dtype=bool)
+    chain_start[0] = True
+    chain_start[1:] = (idx_s[1:] != idx_s[:-1]) | (line_s[1:] != line_s[:-1])
+    starts = np.flatnonzero(chain_start)
+    ends = np.append(starts[1:], events) - 1
+    chain_id = np.cumsum(chain_start) - 1
+
+    # a chain member's leading writes can only miss while no earlier chain
+    # member carried a read; compute "read seen before me, within my chain"
+    # with a per-chain running minimum (the id*big offset confines the
+    # accumulate to one chain: earlier chains' values are strictly larger)
+    big = n + 1
+    running_min = np.minimum.accumulate(first_read_s - chain_id * big)
+    prior = np.empty(events, dtype=np.int64)
+    prior[0] = big
+    prior[1:] = running_min[:-1] + chain_id[1:] * big
+    no_read_before = prior >= n
+    w_pre_chain = np.add.reduceat(np.where(no_read_before, w_pre_s, 0), starts)
+
+    cset = idx_s[starts]
+    ctag = line_s[starts] // lines_per_way
+    cfirst = np.minimum.reduceat(first_read_s, starts)
+    clast = last_pos_s[ends]
+    chas_read = cfirst < n
+    chains = len(starts)
+
+    group_boundary = np.empty(chains, dtype=bool)
+    group_boundary[0] = True
+    group_boundary[1:] = cset[1:] != cset[:-1]
+    group_starts = np.flatnonzero(group_boundary)
+    group_lengths = np.diff(np.append(group_starts, chains))
+    start_per_event = np.repeat(group_starts, group_lengths)
+    rank = np.arange(chains, dtype=np.int64) - start_per_event
+    by_rank = np.argsort(rank, kind="stable")
+    max_rank = int(rank.max())
+    rank_bounds = np.searchsorted(rank[by_rank], np.arange(max_rank + 2))
+
+    return _SetView(
+        set_index=cset, tag=ctag, first_read=cfirst, last_pos=clast,
+        w_pre=w_pre_chain, has_read=chas_read,
+        group_starts=group_starts, group_start_per_event=start_per_event,
+        rank_bounds=rank_bounds,
+        r_set=cset[by_rank], r_tag=ctag[by_rank], r_first_read=cfirst[by_rank],
+        r_last_pos=clast[by_rank], r_w_pre=w_pre_chain[by_rank],
+        r_has_read=chas_read[by_rank],
+    )
+
+
+# -- direct-mapped replay ----------------------------------------------------------------
+
+
+def _replay_direct_mapped(
+    view: ColumnarTrace, config: CacheConfig, state: KernelState
+) -> Tuple[int, int]:
+    """Event replay of a 1-way cache as pure NumPy reductions.
+
+    With a single way the stored tag of a set only changes at *reads*
+    (write-through, no write-allocate), so an event starts present
+    exactly when its tag matches the most recent earlier read-carrying
+    event of the same set -- or the pre-existing tag store content when
+    there is none.  On the set-grouped event stream that "previous
+    read-carrying event in my set" relation is a running maximum.
+    """
+    lru = config.replacement == Replacement.LRU
+    sv = view.set_view(config.lines_per_way)
+    events = len(sv.set_index)
+
+    positions = np.arange(events, dtype=np.int64)
+    last_read = np.maximum.accumulate(np.where(sv.has_read, positions, -1))
+    prev_read = np.empty(events, dtype=np.int64)
+    prev_read[0] = -1
+    prev_read[1:] = last_read[:-1]
+    # a "previous read" carried over from a different set is invalid; the
+    # event then sees the tag store's current content (-1 never matches)
+    has_prev = prev_read >= sv.group_start_per_event
+    initial_tags = state.tags[sv.set_index, 0]
+    effective_tag = np.where(
+        has_prev, sv.tag[np.maximum(prev_read, 0)], initial_tags)
+    present = effective_tag == sv.tag
+
+    absent = ~present
+    read_misses = int(np.count_nonzero(absent & sv.has_read))
+    write_misses = int(sv.w_pre[absent].sum())
+
+    # final tag store: the last read-carrying event of each set wins
+    group_ends = np.append(sv.group_starts[1:], events) - 1
+    final_read = last_read[group_ends]
+    touched = final_read >= sv.group_starts
+    state.tags[sv.set_index[sv.group_starts[touched]], 0] = sv.tag[final_read[touched]]
+
+    # replacement age, matching the scalar loop tick for tick: LRU updates
+    # on every hit and fill (so the chain's last non-write-miss access
+    # wins), other policies only at fills (the chain's first read)
+    tick0 = state.tick + 1
+    if lru:
+        qualifies = present | sv.has_read
+        age_tick = tick0 + sv.last_pos
+    else:
+        qualifies = absent & sv.has_read
+        age_tick = tick0 + sv.first_read
+    last_qualifying = np.maximum.accumulate(
+        np.where(qualifies, positions, -1))[group_ends]
+    aged = last_qualifying >= sv.group_starts
+    state.age[sv.set_index[sv.group_starts[aged]], 0] = age_tick[last_qualifying[aged]]
+    return read_misses, write_misses
+
+
+# -- set-associative replay --------------------------------------------------------------
+
+
+def _replay_set_associative(
+    view: ColumnarTrace,
+    config: CacheConfig,
+    state: KernelState,
+    random_victims: np.ndarray,
+) -> Tuple[int, int]:
+    """Rank-synchronous replay: all sets advance one event per iteration.
+
+    Iteration ``k`` applies every set's ``k``-th potential-miss event
+    simultaneously with vectorised presence tests and victim selection.
+    Per-set event order is preserved and sets never interact, so the
+    replay is exact; the Python-level loop runs max-events-per-set
+    times, never once per access.
+    """
+    ways = config.ways
+    lru = config.replacement == Replacement.LRU
+    lrr = config.replacement == Replacement.LRR
+    sv = view.set_view(config.lines_per_way)
+    bounds = sv.rank_bounds
+
+    tags, age, fifo = state.tags, state.age, state.fifo
+    tick0 = state.tick + 1  # the k-th access of this replay runs at tick0 + k
+    read_misses = 0
+    write_misses = 0
+
+    for k in range(len(bounds) - 1):
+        sl = slice(bounds[k], bounds[k + 1])
+        sets = sv.r_set[sl]       # distinct within a rank slice by construction
+        tag = sv.r_tag[sl]
+        rows = tags[sets]
+        match = rows == tag[:, None]
+        present = match.any(axis=1)
+        absent = ~present
+        write_misses += int(sv.r_w_pre[sl][absent].sum())
+
+        if lru and present.any():
+            hit_sets = sets[present]
+            hit_way = np.argmax(match[present], axis=1)
+            age[hit_sets, hit_way] = tick0 + sv.r_last_pos[sl][present]
+
+        fill = absent & sv.r_has_read[sl]
+        filled = int(np.count_nonzero(fill))
+        read_misses += filled
+        if not filled:
+            continue
+        fill_sets = sets[fill]
+        fill_rows = rows[fill]
+        invalid = fill_rows == -1
+        has_invalid = invalid.any(axis=1)
+        if lru:
+            policy_victim = np.argmin(age[fill_sets], axis=1)
+        elif lrr:
+            policy_victim = fifo[fill_sets]
+        else:
+            policy_victim = random_victims[sv.r_first_read[sl][fill]]
+        victim = np.where(has_invalid, np.argmax(invalid, axis=1), policy_victim)
+        if lrr:
+            evicting = ~has_invalid
+            fifo[fill_sets[evicting]] = (victim[evicting] + 1) % ways
+        tags[fill_sets, victim] = tag[fill]
+        # LRU: in-chain hits after the fill promote the line to the chain's last tick
+        fill_tick = sv.r_last_pos[sl] if lru else sv.r_first_read[sl]
+        age[fill_sets, victim] = tick0 + fill_tick[fill]
+
+    return read_misses, write_misses

@@ -16,7 +16,7 @@ its cycle terms with vectorised reductions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -43,6 +43,9 @@ class ExecutionTrace:
     window_events: np.ndarray
     #: Name of the workload/program that produced the trace (for reports).
     name: str = "trace"
+    #: Cached columnar cache-kernel views, keyed by ``(kind, linesize_bytes)``.
+    _views: Dict[Tuple[str, int], object] = field(
+        default_factory=dict, repr=False, compare=False)
 
     # -- derived quantities ------------------------------------------------------------
 
@@ -94,6 +97,32 @@ class ExecutionTrace:
     def data_is_write(self) -> np.ndarray:
         """Write flags aligned with :attr:`data_addresses`."""
         return self.store_mask[self.memory_mask]
+
+    def columnar_view(self, kind: str, linesize_bytes: int):
+        """Shared :class:`~repro.microarch.cachekernel.ColumnarTrace` of this trace.
+
+        ``kind`` is ``"icache"`` (instruction fetches, read-only) or
+        ``"dcache"`` (data accesses with the write mask).  The decode
+        depends only on the line size, so every cache geometry and
+        replacement policy with that line size replays one cached view;
+        this is what lets a configuration sweep decode the trace a
+        handful of times instead of once per configuration.
+        """
+        from repro.microarch.cachekernel import decode_trace
+
+        key = (kind, linesize_bytes)
+        view = self._views.get(key)
+        if view is None:
+            if kind == "icache":
+                view = decode_trace(self.pcs, linesize_bytes=linesize_bytes)
+            elif kind == "dcache":
+                view = decode_trace(
+                    self.data_addresses, self.data_is_write,
+                    linesize_bytes=linesize_bytes)
+            else:
+                raise ValueError(f"unknown cache kind {kind!r}")
+            self._views[key] = view
+        return view
 
     def mix_summary(self) -> Dict[str, float]:
         """Instruction-mix fractions used in workload characterisation reports."""

@@ -30,6 +30,7 @@ from repro.fpga.device import FpgaDevice, XCV2000E
 from repro.fpga.report import ResourceReport
 from repro.fpga.synthesis import SynthesisModel
 from repro.microarch.cache import Cache, CacheConfig, CacheStatistics
+from repro.microarch.cachekernel import simulate_many
 from repro.microarch.statistics import ExecutionStatistics
 from repro.microarch.timing import TimingModel, TimingParameters
 from repro.platform.measurement import Measurement
@@ -143,11 +144,31 @@ class LiquidPlatform:
 
     def simulate_cache_job(self, workload: Workload, job: CacheJob) -> CacheStatistics:
         """Run one cache job in-process (the engine's worker does the same remotely)."""
-        trace = workload.trace()
         _, kind, cache_cfg = job
-        if kind == "icache":
-            return Cache(cache_cfg).simulate(trace.pcs)
-        return Cache(cache_cfg).simulate(trace.data_addresses, trace.data_is_write)
+        view = workload.columnar_view(kind, cache_cfg.linesize_bytes)
+        return Cache(cache_cfg).simulate_view(view)
+
+    def simulate_cache_jobs(
+        self, workload: Workload, jobs: Sequence[CacheJob]
+    ) -> Dict[CacheJob, CacheStatistics]:
+        """Run a batch of cache jobs for one workload with shared decodes.
+
+        Jobs are grouped by ``(kind, linesize)``; each group replays the
+        workload's single decoded columnar view once per configuration
+        through :func:`~repro.microarch.cachekernel.simulate_many`.  The
+        result of every job is bit-identical to
+        :meth:`simulate_cache_job` run in isolation.
+        """
+        groups: Dict[Tuple[str, int], List[CacheJob]] = {}
+        for job in jobs:
+            _, kind, cache_cfg = job
+            groups.setdefault((kind, cache_cfg.linesize_bytes), []).append(job)
+        results: Dict[CacheJob, CacheStatistics] = {}
+        for (kind, linesize), group in groups.items():
+            view = workload.columnar_view(kind, linesize)
+            statistics = simulate_many(view, [job[2] for job in group])
+            results.update(zip(group, statistics))
+        return results
 
     def _cache_statistics(
         self, workload: Workload, config: Configuration

@@ -79,6 +79,16 @@ class Workload(ABC):
         """The configuration-independent execution trace of this workload."""
         return self.run_functional().trace
 
+    def columnar_view(self, kind: str, linesize_bytes: int):
+        """Cached columnar cache-kernel view of this workload's trace.
+
+        Delegates to :meth:`ExecutionTrace.columnar_view
+        <repro.microarch.trace.ExecutionTrace.columnar_view>`; the view is
+        cached on the trace, so every cache geometry sharing a line size
+        replays one decode.
+        """
+        return self.trace().columnar_view(kind, linesize_bytes)
+
     def fingerprint(self) -> str:
         """Content digest identifying this workload's execution trace.
 

@@ -1,12 +1,14 @@
-"""Equivalence of the vectorized direct-mapped cache path with the scalar reference.
+"""Equivalence of the columnar cache kernel with the scalar reference.
 
-The vectorized tag-replay in :meth:`Cache._simulate_direct_mapped` must be
-bit-identical to the per-access reference implementation -- both the
-hit/miss statistics and the final tag-store state -- for any trace, any
-replacement policy name and any geometry with ``ways == 1``.  The
-hypothesis tests below drive randomized traces through three oracles:
-the scalar ``simulate(vectorized=False)`` loop and the one-access-at-a-time
-``Cache.access()`` API.
+The kernel replay in :mod:`repro.microarch.cachekernel` must be
+bit-identical to the per-access reference loop
+(``Cache.simulate(vectorized=False)``) -- the hit/miss statistics
+field for field, the final tag/age/FIFO state, and the position of the
+seeded RANDOM victim stream -- for any trace (mixed reads and writes),
+any replacement policy and any associativity.  The hypothesis tests
+below drive randomized traces through the scalar oracles: the forced
+``simulate(vectorized=False)`` loop and, for the direct-mapped corner,
+the one-access-at-a-time ``Cache.access()`` API.
 """
 
 import numpy as np
@@ -15,6 +17,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.config import Replacement
 from repro.microarch.cache import Cache, CacheConfig
+from repro.microarch.cachekernel import decode_trace, simulate_many
 
 
 def scalar_reference(config: CacheConfig, addresses, writes):
@@ -107,3 +110,136 @@ def test_read_only_trace_uses_direct_mapped_path():
     stats = Cache(config).simulate(addresses)
     assert stats.read_misses == 20
     assert stats.hits == 0
+
+
+# -- set-associative kernel equivalence --------------------------------------------------
+
+set_associative_geometry = st.fixed_dictionaries({
+    "ways": st.sampled_from([2, 3, 4]),
+    "setsize_kb": st.sampled_from([1, 2, 4]),
+    "linesize_words": st.sampled_from([4, 8]),
+    "replacement": st.sampled_from(sorted(Replacement.ALL)),
+})
+# small address spaces force conflicts, evictions and policy decisions
+mixed_traces = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=1 << 10), st.booleans()),
+    min_size=0, max_size=400,
+)
+
+
+def to_arrays(trace):
+    addresses = np.asarray([a for a, _ in trace], dtype=np.int64) * 4  # word aligned
+    writes = np.asarray([w for _, w in trace], dtype=bool)
+    return addresses, writes
+
+
+def assert_state_identical(kernel_cache, scalar_cache):
+    """Every replacement-relevant piece of cache state must match bit for bit."""
+    np.testing.assert_array_equal(kernel_cache._tags, scalar_cache._tags)
+    np.testing.assert_array_equal(kernel_cache._age, scalar_cache._age)
+    np.testing.assert_array_equal(kernel_cache._fifo, scalar_cache._fifo)
+    assert kernel_cache._tick == scalar_cache._tick
+    assert (kernel_cache._rng.bit_generator.state
+            == scalar_cache._rng.bit_generator.state)
+
+
+@given(geometry=set_associative_geometry, trace=mixed_traces)
+@settings(max_examples=120, deadline=None)
+def test_set_associative_kernel_matches_scalar_reference(geometry, trace):
+    """Kernel == scalar loop: statistics field for field, state, RANDOM stream."""
+    config = CacheConfig(**geometry)
+    addresses, writes = to_arrays(trace)
+
+    scalar_cache = Cache(config)
+    scalar_stats = scalar_cache.simulate(addresses, writes, vectorized=False)
+    kernel_cache = Cache(config)
+    kernel_stats = kernel_cache.simulate(addresses, writes)
+
+    assert kernel_stats == scalar_stats  # dataclass equality: every field
+    assert_state_identical(kernel_cache, scalar_cache)
+
+
+@given(geometry=set_associative_geometry, trace_a=mixed_traces, trace_b=mixed_traces)
+@settings(max_examples=40, deadline=None)
+def test_set_associative_kernel_preserves_state_across_calls(geometry, trace_a, trace_b):
+    """Back-to-back simulate() calls must see the warm state left by the first."""
+    config = CacheConfig(**geometry)
+
+    def run(vectorized):
+        cache = Cache(config)
+        out = []
+        for trace in (trace_a, trace_b):
+            addresses, writes = to_arrays(trace)
+            out.append(cache.simulate(addresses, writes, vectorized=vectorized))
+        return out, cache
+
+    kernel_stats, kernel_cache = run(vectorized=None)
+    scalar_stats, scalar_cache = run(vectorized=False)
+    assert kernel_stats == scalar_stats
+    assert_state_identical(kernel_cache, scalar_cache)
+
+
+@given(trace=mixed_traces)
+@settings(max_examples=25, deadline=None)
+def test_simulate_many_matches_fresh_per_config_simulation(trace):
+    """One decoded view replayed against many geometries == N fresh caches."""
+    addresses, writes = to_arrays(trace)
+    configs = [
+        CacheConfig(ways=ways, setsize_kb=size, linesize_words=8, replacement=policy)
+        for ways in (1, 2, 4)
+        for size in (1, 4)
+        for policy in Replacement.ALL
+    ]
+    view = decode_trace(addresses, writes, linesize_bytes=32)
+    batched = simulate_many(view, configs)
+    reference = [
+        Cache(config).simulate(addresses, writes, vectorized=False)
+        for config in configs
+    ]
+    assert batched == reference
+
+
+def test_decoded_view_compresses_consecutive_same_line_runs():
+    """Sequential word accesses within a line collapse to one event."""
+    config = CacheConfig(ways=2, setsize_kb=1, linesize_words=8)
+    addresses = np.arange(256, dtype=np.int64) * 4  # walk 32 lines word by word
+    view = decode_trace(addresses, linesize_bytes=config.linesize_bytes)
+    assert view.accesses == 256
+    assert len(view) == 32  # one event per 8-word line
+    assert view.compression == pytest.approx(8.0)
+    stats = simulate_many(view, [config])[0]
+    assert stats == Cache(config).simulate(addresses, vectorized=False)
+
+
+def test_kernel_rejects_mismatched_linesize_view():
+    config = CacheConfig(ways=2, setsize_kb=1, linesize_words=8)
+    view = decode_trace(np.asarray([0, 4, 8], dtype=np.int64), linesize_bytes=16)
+    with pytest.raises(Exception):
+        Cache(config).simulate_view(view)
+
+
+@pytest.mark.parametrize("geometry", [
+    dict(ways=1, setsize_kb=1, linesize_words=4, replacement=Replacement.RANDOM),
+    dict(ways=2, setsize_kb=1, linesize_words=8, replacement=Replacement.LRR),
+    dict(ways=2, setsize_kb=2, linesize_words=4, replacement=Replacement.RANDOM),
+    dict(ways=4, setsize_kb=1, linesize_words=8, replacement=Replacement.LRU),
+])
+def test_kernel_matches_scalar_on_all_paper_workload_traces(small_workload_map,
+                                                            geometry):
+    """The acceptance bar: kernel == scalar on the four real workload traces.
+
+    Both the instruction-fetch stream (read-only, long same-line runs)
+    and the data stream (mixed loads/stores, write-through no-allocate)
+    of every paper workload must replay bit-identically.
+    """
+    config = CacheConfig(**geometry)
+    for name, workload in small_workload_map.items():
+        trace = workload.trace()
+        for addresses, writes in ((trace.pcs, None),
+                                  (trace.data_addresses, trace.data_is_write)):
+            scalar_cache = Cache(config)
+            scalar_stats = scalar_cache.simulate(addresses, writes, vectorized=False)
+            kernel_cache = Cache(config)
+            kernel_stats = kernel_cache.simulate(addresses, writes)
+            assert kernel_stats == scalar_stats, f"kernel diverged on {name}"
+            assert_state_identical(kernel_cache, scalar_cache)

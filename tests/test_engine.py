@@ -14,7 +14,14 @@ import pytest
 
 from repro.config import Replacement, base_configuration
 from repro.core import MicroarchTuner, OneFactorCampaign, RUNTIME_OPTIMIZATION
-from repro.engine import EngineStats, EvaluationBackend, ParallelEvaluator, ResultStore
+from repro.engine import (
+    EngineStats,
+    EvaluationBackend,
+    ParallelEvaluator,
+    ResultStore,
+    SqliteResultStore,
+    open_store,
+)
 from repro.engine.store import workload_fingerprint
 from repro.platform import LiquidPlatform
 from repro.workloads import ArithWorkload
@@ -141,6 +148,67 @@ class TestStoreEquivalence:
         assert measurement == LiquidPlatform().measure(large, base_config)
 
 
+class TestSqliteStore:
+    def test_open_store_selects_backend_by_extension(self, tmp_path):
+        assert isinstance(open_store(str(tmp_path / "a.sqlite")), SqliteResultStore)
+        assert isinstance(open_store(str(tmp_path / "a.db")), SqliteResultStore)
+        assert isinstance(open_store(str(tmp_path / "a.jsonl")), ResultStore)
+        assert isinstance(open_store(None), ResultStore)  # in-memory default
+
+    def test_round_trip_identical(self, tmp_path, base_config, arith_small):
+        path = str(tmp_path / "results.sqlite")
+        store = SqliteResultStore(path)
+        expected = ParallelEvaluator(workers=1, store=store).measure(
+            arith_small, base_config)
+        assert len(store) == 1
+        reloaded = SqliteResultStore(path)
+        replayed = reloaded.get(arith_small, base_config)
+        assert replayed == expected
+        assert replayed == LiquidPlatform().measure(arith_small, base_config)
+
+    def test_resume_answers_from_store_without_runs(self, tmp_path, base_config,
+                                                    small_workload_map):
+        path = str(tmp_path / "results.db")
+        configs = variant_configs(base_config)
+        writer = ParallelEvaluator(workers=1, store=open_store(path))
+        first = {name: writer.measure_many(w, configs)
+                 for name, w in small_workload_map.items()}
+        assert writer.stats.store_hits == 0
+
+        reader = ParallelEvaluator(workers=1, store=open_store(path))
+        for name, workload in small_workload_map.items():
+            assert reader.measure_many(workload, configs) == first[name]
+        assert reader.platform.effort()["runs"] == 0
+        assert reader.stats.store_hits == len(small_workload_map) * 7  # unique configs
+
+    def test_put_deduplicates(self, tmp_path, base_config, arith_small):
+        store = SqliteResultStore(str(tmp_path / "results.sqlite"))
+        measurement = LiquidPlatform().measure(arith_small, base_config)
+        assert store.put(arith_small, measurement) is True
+        assert store.put(arith_small, measurement) is False
+        assert len(store) == 1
+
+    def test_context_filter_follows_platform_calibration(self, tmp_path, base_config,
+                                                         arith_small):
+        from repro.microarch.timing import TimingParameters
+
+        path = str(tmp_path / "results.sqlite")
+        slow = LiquidPlatform(timing_parameters=TimingParameters(memory_latency=40))
+        writer = ParallelEvaluator(slow, workers=1, store=SqliteResultStore(path))
+        slow_measurement = writer.measure(arith_small, base_config)
+
+        default_reader = ParallelEvaluator(workers=1, store=SqliteResultStore(path))
+        default_measurement = default_reader.measure(arith_small, base_config)
+        assert default_reader.stats.store_hits == 0
+        assert default_measurement.cycles < slow_measurement.cycles
+
+        slow_reader = ParallelEvaluator(
+            LiquidPlatform(timing_parameters=TimingParameters(memory_latency=40)),
+            workers=1, store=SqliteResultStore(path))
+        assert slow_reader.measure(arith_small, base_config) == slow_measurement
+        assert slow_reader.stats.store_hits == 1
+
+
 class TestCampaignAndTuner:
     def test_campaign_batch_identical_to_seed_sequential_loop(self, arith_small):
         """The batched campaign must reproduce the seed's measure-in-a-loop results."""
@@ -230,9 +298,24 @@ class TestEngineStats:
         assert stats.dedup_hits == 1
         assert stats.batches == 1
         assert stats.cache_simulations == 3  # icache + 2 distinct dcache geometries
+        # icache and the two same-linesize dcache geometries share one decode each
+        assert stats.cache_groups == 2
         assert stats.wall_seconds > 0
         assert "dedup_hits" in stats.as_dict()
+        assert "cache_groups" in stats.as_dict()
         assert "engine:" in stats.summary()
+
+    def test_stage_seconds_cover_the_pipeline(self, base_config, arith_small):
+        engine = ParallelEvaluator(workers=1)
+        engine.measure_many(arith_small, [base_config])
+        stages = engine.stats.stage_report()
+        for stage in ("trace_generation", "cache_simulation", "model_build"):
+            assert stage in stages
+            assert stages[stage] >= 0.0
+        tuner = MicroarchTuner(engine)
+        tuner.tune(arith_small, RUNTIME_OPTIMIZATION,
+                   parameters=("dcache_sets",), verify=False)
+        assert "solve" in engine.stats.stage_report()
 
     def test_second_batch_reuses_memoised_results(self, base_config, arith_small):
         engine = ParallelEvaluator(workers=1)
