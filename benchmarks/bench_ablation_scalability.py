@@ -31,9 +31,9 @@ def test_scalability_of_the_campaign(benchmark, workloads):
 
 def test_scalability_of_the_campaign_through_the_engine(benchmark, workloads):
     """Same campaign, batched through the engine with a 2-process worker pool."""
-    engine = ParallelEvaluator(LiquidPlatform(), workers=2)
-    result = benchmark.pedantic(
-        scalability_study, args=(engine, workloads["frag"]), rounds=1, iterations=1)
+    with ParallelEvaluator(LiquidPlatform(), workers=2) as engine:
+        result = benchmark.pedantic(
+            scalability_study, args=(engine, workloads["frag"]), rounds=1, iterations=1)
     emit(result)
 
     sequential = scalability_study(LiquidPlatform(), workloads["frag"])

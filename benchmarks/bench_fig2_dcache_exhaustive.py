@@ -92,11 +92,11 @@ def test_fig2_engine_wall_clock_improvement(benchmark, workloads):
     pr1_result, pr1_seconds = _timed_sweep(workload, ways_threshold=1)
     kernel_result, kernel_seconds = _timed_sweep(workload)
 
-    engine = ParallelEvaluator(LiquidPlatform(), workers=2)
-    start = time.perf_counter()
-    engine_result = benchmark.pedantic(
-        dcache_exhaustive, args=(engine, workload), rounds=1, iterations=1)
-    engine_seconds = time.perf_counter() - start
+    with ParallelEvaluator(LiquidPlatform(), workers=2) as engine:
+        start = time.perf_counter()
+        engine_result = benchmark.pedantic(
+            dcache_exhaustive, args=(engine, workload), rounds=1, iterations=1)
+        engine_seconds = time.perf_counter() - start
 
     emit(engine_report(engine))
     print(f"\nFigure 2 sweep wall-clock:"

@@ -10,20 +10,22 @@ The measurement layer runs through the evaluation engine: pass
 ``--store PATH`` to persist measurements (JSON-lines, or SQLite when the
 path ends in ``.sqlite``/``.db``; either makes a full reproduction
 resumable and shareable across runs), ``--profile`` to print per-stage
-wall-clock, or ``--sequential`` to fall back to the bare platform.
-Engine statistics (dedup hits, store hits, workers, wall clock) are
-printed at the end.
+wall-clock, ``--phases`` to add the phase-transition study (cold-start
+vs warm-chained per-phase miss rates of the multi-phase scenarios), or
+``--sequential`` to fall back to the bare platform.  Engine statistics
+(dedup hits, store hits, workers, wall clock) are printed at the end.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import time
 
 from repro.engine import ParallelEvaluator, open_store
 from repro.platform import LiquidPlatform
-from repro.workloads import standard_workloads
+from repro.workloads import phase_scenarios, standard_workloads
 from repro.analysis import (
     approximation_ablation,
     dcache_exhaustive,
@@ -32,6 +34,7 @@ from repro.analysis import (
     headline_comparison,
     parameter_space_summary,
     perturbation_costs,
+    phase_transition_study,
     resource_optimization,
     runtime_optimization,
     scalability_study,
@@ -55,17 +58,31 @@ def parse_args() -> argparse.Namespace:
         "--profile", action="store_true",
         help="print per-stage wall-clock (trace generation, cache simulation, "
              "model build, solve) from the engine statistics")
+    parser.add_argument(
+        "--phases", action="store_true",
+        help="add the phase-transition study: cold-start vs warm-chained "
+             "per-phase miss rates of the multi-phase workload scenarios")
     args = parser.parse_args()
     if args.profile and args.sequential:
         parser.error("--profile requires the engine backend; drop --sequential")
     return args
 
 
-def make_backend(args: argparse.Namespace, *, with_store: bool = True):
+@contextlib.contextmanager
+def managed_backend(args: argparse.Namespace, *, with_store: bool = True):
+    """A measurement backend whose worker pool is always shut down on exit.
+
+    Engine backends own a process pool; leaking it to ``__del__`` keeps
+    workers alive until interpreter teardown, so every consumer goes
+    through this context manager (the evaluator-hygiene test asserts
+    the pool is gone afterwards).
+    """
     if args.sequential:
-        return LiquidPlatform()
+        yield LiquidPlatform()
+        return
     store = open_store(args.store) if (args.store and with_store) else None
-    return ParallelEvaluator(LiquidPlatform(), workers=args.workers, store=store)
+    with ParallelEvaluator(LiquidPlatform(), workers=args.workers, store=store) as backend:
+        yield backend
 
 
 def print_stage_profile(platform) -> None:
@@ -83,35 +100,40 @@ def print_stage_profile(platform) -> None:
 def main() -> None:
     args = parse_args()
     start = time.time()
-    platform = make_backend(args)
     workloads = standard_workloads()
 
     def show(result, label):
         print(f"\n{'#' * 80}\n# {label}  (t={time.time() - start:.0f}s)\n{'#' * 80}")
         print(result.render())
 
-    show(parameter_space_summary(), "Figure 1: parameter space")
-    show(dcache_exhaustive(platform, workloads["blastn"]), "Figure 2: BLASTN dcache exhaustive")
-    fig4 = dcache_study(platform, workloads)
-    show(fig4, "Figures 3/4: dcache exhaustive vs optimizer")
-    fig5 = runtime_optimization(platform, workloads)
-    show(fig5, "Figure 5: application runtime optimization (w1=100, w2=1)")
-    show(perturbation_costs(fig5.data["results"]["blastn"]),
-         "Figure 6: BLASTN perturbation costs")
-    fig7 = resource_optimization(platform, workloads, models=fig5.data["models"])
-    show(fig7, "Figure 7: chip resource optimization (w1=1, w2=100)")
-    show(headline_comparison(fig5, fig7, fig4), "Headline claims")
-    # the scalability study reports the effort of a *fresh* platform; feeding it
-    # the store would zero the build/run counts the paper's claim is about
-    show(scalability_study(make_backend(args, with_store=False), workloads["frag"]),
-         "Scalability study")
-    show(approximation_ablation(fig5.data["results"]["drr"]), "Approximation ablation (DRR)")
-    show(solver_ablation(fig5.data["models"]["blastn"]), "Solver ablation (BLASTN)")
-    if not args.sequential:
-        show(engine_report(platform), "Evaluation engine statistics")
-        print(platform.stats.summary())
-        if args.profile:
-            print_stage_profile(platform)
+    with managed_backend(args) as platform:
+        show(parameter_space_summary(), "Figure 1: parameter space")
+        show(dcache_exhaustive(platform, workloads["blastn"]),
+             "Figure 2: BLASTN dcache exhaustive")
+        fig4 = dcache_study(platform, workloads)
+        show(fig4, "Figures 3/4: dcache exhaustive vs optimizer")
+        fig5 = runtime_optimization(platform, workloads)
+        show(fig5, "Figure 5: application runtime optimization (w1=100, w2=1)")
+        show(perturbation_costs(fig5.data["results"]["blastn"]),
+             "Figure 6: BLASTN perturbation costs")
+        fig7 = resource_optimization(platform, workloads, models=fig5.data["models"])
+        show(fig7, "Figure 7: chip resource optimization (w1=1, w2=100)")
+        show(headline_comparison(fig5, fig7, fig4), "Headline claims")
+        if args.phases:
+            show(phase_transition_study(platform, phase_scenarios()),
+                 "Phase transitions: cold-start vs warm-chained replay")
+        # the scalability study reports the effort of a *fresh* platform; feeding
+        # it the store would zero the build/run counts the paper's claim is about
+        with managed_backend(args, with_store=False) as fresh:
+            show(scalability_study(fresh, workloads["frag"]), "Scalability study")
+        show(approximation_ablation(fig5.data["results"]["drr"]),
+             "Approximation ablation (DRR)")
+        show(solver_ablation(fig5.data["models"]["blastn"]), "Solver ablation (BLASTN)")
+        if not args.sequential:
+            show(engine_report(platform), "Evaluation engine statistics")
+            print(platform.stats.summary())
+            if args.profile:
+                print_stage_profile(platform)
     print(f"\nTotal wall clock: {time.time() - start:.1f}s")
 
 

@@ -40,7 +40,7 @@ from repro.core import (
 from repro.engine import EngineStats, EvaluationBackend, ParallelEvaluator, ResultStore
 from repro.fpga import SynthesisModel, XCV2000E
 from repro.microarch import ProcessorModel
-from repro.platform import LiquidPlatform, Measurement
+from repro.platform import LiquidPlatform, Measurement, PhasedMeasurement
 
 __version__ = "1.0.0"
 
@@ -64,6 +64,7 @@ __all__ = [
     "ProcessorModel",
     "LiquidPlatform",
     "Measurement",
+    "PhasedMeasurement",
     "EngineStats",
     "EvaluationBackend",
     "ParallelEvaluator",

@@ -12,6 +12,7 @@ from repro.analysis.experiments import (
     optimization_study,
     parameter_space_summary,
     perturbation_costs,
+    phase_transition_study,
     resource_optimization,
     runtime_optimization,
     scalability_study,
@@ -31,6 +32,7 @@ __all__ = [
     "optimization_study",
     "parameter_space_summary",
     "perturbation_costs",
+    "phase_transition_study",
     "resource_optimization",
     "runtime_optimization",
     "scalability_study",

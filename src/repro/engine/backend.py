@@ -53,6 +53,16 @@ class EvaluationBackend(Protocol):
         """Measure a batch of configurations; results align with ``configs``."""
         ...
 
+    def measure_phases(self, workload, configs: Sequence[Configuration]) -> List:
+        """Measure a phased workload's batch with per-phase warm/cold views.
+
+        ``workload`` is a :class:`~repro.workloads.phased.PhasedWorkload`;
+        results are :class:`~repro.platform.measurement.PhasedMeasurement`
+        instances aligned with ``configs``.  The overall measurements
+        must be bit-identical to :meth:`measure_many` on the same batch.
+        """
+        ...
+
     def fits(self, config: Configuration) -> bool:
         """True when the configuration can be built on the backend's device."""
         ...
@@ -89,6 +99,15 @@ class EngineStats:
     #: Shared-decode groups -- distinct ``(trace, kind, linesize)`` decodes --
     #: the cache simulations were batched into.
     cache_groups: int = 0
+    #: Warm phase-chain replays executed on behalf of phased batches.
+    phase_chains: int = 0
+    #: Per-phase columnar decodes paid for those chains.  Decodes are a
+    #: property of ``(trace, kind, linesize, phase)`` -- times the workers
+    #: that touched the group when a pool fans the chains out -- and never
+    #: scale with the number of configurations; the phase-transition
+    #: benchmark asserts this on the single-worker path, where the count
+    #: is exact.
+    phase_decodes: int = 0
     #: Batch calls served.
     batches: int = 0
     #: Wall-clock seconds spent inside the batch API.
@@ -113,6 +132,8 @@ class EngineStats:
             "cache_simulations": self.cache_simulations,
             "parallel_simulations": self.parallel_simulations,
             "cache_groups": self.cache_groups,
+            "phase_chains": self.phase_chains,
+            "phase_decodes": self.phase_decodes,
             "batches": self.batches,
             "wall_seconds": round(self.wall_seconds, 3),
         }

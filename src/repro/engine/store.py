@@ -160,6 +160,10 @@ class ResultStoreBase:
                 "bram_breakdown": dict(measurement.resources.bram_breakdown),
             },
             "statistics": {
+                # may differ from the measurement's workload name: a phased
+                # workload measures under its scenario name while the profile
+                # keeps the underlying trace's name
+                "workload": statistics.workload,
                 "instruction_count": statistics.instruction_count,
                 "cycles": statistics.cycles,
                 "cycle_breakdown": dict(statistics.cycle_breakdown),
@@ -182,7 +186,7 @@ class ResultStoreBase:
         )
         stats = record["statistics"]
         statistics = ExecutionStatistics(
-            workload=record["workload"],
+            workload=stats.get("workload", record["workload"]),
             configuration=config,
             instruction_count=stats["instruction_count"],
             cycles=stats["cycles"],
@@ -306,9 +310,12 @@ class SqliteResultStore(ResultStoreBase):
             os.makedirs(directory, exist_ok=True)
         self._conn = sqlite3.connect(path)
         # WAL + NORMAL keeps per-put commits durable without paying a full
-        # journal fsync per measurement on large campaign writes
+        # journal fsync per measurement on large campaign writes; the busy
+        # timeout makes concurrent evaluators sharing one store wait out
+        # each other's write locks instead of raising "database is locked"
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute("PRAGMA busy_timeout=10000")
         self._conn.execute(
             "CREATE TABLE IF NOT EXISTS measurements ("
             " context TEXT NOT NULL,"

@@ -301,3 +301,27 @@ class Cache:
         statistics = cachekernel.replay(view, self.config, state=state, rng=self._rng)
         self._tick = state.tick
         return statistics
+
+    def simulate_phases(self, phases) -> "list[CacheStatistics]":
+        """Warm-chained replay of a sequence of program phases.
+
+        ``phases`` is a sequence of either pre-decoded
+        :class:`~repro.microarch.cachekernel.ColumnarTrace` views or
+        ``(addresses, writes)`` pairs (``writes`` may be ``None``).  Each
+        phase replays against the cache state the previous one left
+        behind, so the per-phase statistics describe a continuously-warm
+        cache; their totals are bit-identical to one :meth:`simulate`
+        call over the concatenated trace.
+        """
+        from repro.microarch.cachekernel import ColumnarTrace, decode_trace
+
+        statistics = []
+        for phase in phases:
+            if isinstance(phase, ColumnarTrace):
+                view = phase
+            else:
+                addresses, writes = phase
+                view = decode_trace(
+                    addresses, writes, linesize_bytes=self.config.linesize_bytes)
+            statistics.append(self.simulate_view(view))
+        return statistics

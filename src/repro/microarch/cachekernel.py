@@ -33,6 +33,19 @@ statistics, final tag/age/FIFO state, and the seeded RANDOM stream
 reference) all match, which the property tests in
 ``tests/test_cache_vectorized.py`` enforce for every policy and
 associativity.
+
+Replay is *warm-chainable*: :func:`replay` mutates the
+:class:`KernelState` it is given, and the run/chain compression algebra
+is closed under trace splitting -- a same-line run cut at a phase
+boundary replays to the same statistics and state as the uncut run.
+:func:`replay_chain` exploits this to replay a sequence of
+:class:`ColumnarTrace` views (program phases) against one
+continuously-warm cache; the result is bit-identical -- statistics,
+tag/age/FIFO state, and the seeded RANDOM victim stream (NumPy bounded
+integer draws consume the bit stream value by value, so per-phase
+batches concatenate to the single-shot batch) -- to replaying the
+concatenated trace in one shot, which ``tests/test_warm_replay.py``
+property-tests against the scalar warm oracle.
 """
 
 from __future__ import annotations
@@ -49,9 +62,12 @@ from repro.microarch.cache import CacheConfig, CacheStatistics
 __all__ = [
     "ColumnarTrace",
     "KernelState",
+    "PhaseReplay",
     "decode_trace",
     "fresh_state",
     "replay",
+    "replay_chain",
+    "replay_phases",
     "simulate_many",
 ]
 
@@ -174,6 +190,10 @@ class KernelState:
     fifo: np.ndarray
     #: Accesses replayed so far (ages are ticks: position + tick + 1).
     tick: int = 0
+    #: RANDOM-victim stream position, carried so a chained replay keeps
+    #: drawing where the previous phase stopped (``None`` for callers that
+    #: manage their own generator, e.g. :class:`~repro.microarch.cache.Cache`).
+    rng: Optional[np.random.Generator] = None
 
 
 def fresh_state(config: CacheConfig) -> KernelState:
@@ -184,6 +204,7 @@ def fresh_state(config: CacheConfig) -> KernelState:
         age=np.zeros((lines, config.ways), dtype=np.int64),
         fifo=np.zeros(lines, dtype=np.int64),
         tick=0,
+        rng=np.random.default_rng(config.seed),
     )
 
 
@@ -197,7 +218,10 @@ def replay(
 
     With ``state``/``rng`` omitted the replay starts from a cold cache
     with the geometry's own seeded PRNG -- exactly what a fresh
-    :class:`~repro.microarch.cache.Cache` would do.
+    :class:`~repro.microarch.cache.Cache` would do.  Passing the state of
+    a previous replay continues against the warm cache (its own ``rng``
+    keeps the RANDOM victim stream in step); an explicit ``rng`` argument
+    overrides the state's generator.
     """
     if view.linesize_bytes != config.linesize_bytes:
         raise ConfigurationError(
@@ -206,7 +230,7 @@ def replay(
     if state is None:
         state = fresh_state(config)
     if rng is None:
-        rng = np.random.default_rng(config.seed)
+        rng = state.rng if state.rng is not None else np.random.default_rng(config.seed)
     n = view.accesses
     # the scalar reference pre-draws one victim per *access* regardless of
     # policy or use; match it so the stream position stays identical
@@ -241,6 +265,73 @@ def simulate_many(
     <repro.platform.liquid.LiquidPlatform.simulate_cache_jobs>` does).
     """
     return [replay(view, config) for config in configs]
+
+
+def replay_chain(
+    views: Sequence[ColumnarTrace],
+    config: CacheConfig,
+    state: Optional[KernelState] = None,
+) -> Tuple[List[CacheStatistics], KernelState]:
+    """Replay a sequence of phase views against one continuously-warm cache.
+
+    Every view must share the configuration's line size.  Returns the
+    per-phase statistics and the final :class:`KernelState`, which can be
+    passed back in to extend the chain.  The chain is bit-identical --
+    per-phase statistics sum to the one-shot statistics, and the final
+    tag/age/FIFO state and RANDOM victim stream match exactly -- to
+    replaying the concatenated trace in a single :func:`replay` call:
+    run compression never merges events across phase boundaries, but a
+    run split at a boundary replays to the same misses and state because
+    presence can only change at a run's first read, which stays at the
+    same global position.
+    """
+    if state is None:
+        state = fresh_state(config)
+    statistics = [replay(view, config, state=state) for view in views]
+    return statistics, state
+
+
+@dataclass(frozen=True)
+class PhaseReplay:
+    """Per-phase statistics of one geometry, warm-chained and cold-started.
+
+    ``warm`` replays the phases against one continuously-warm cache (the
+    deployment view: cache state carries across program phases);
+    ``cold`` replays each phase from a cold cache with a freshly seeded
+    PRNG (the paper's per-measurement view).  The warm statistics sum to
+    the single-shot replay of the concatenated trace; the cold ones do
+    not, and the difference is exactly the phase-transition effect the
+    phase benchmarks report.
+    """
+
+    warm: Tuple[CacheStatistics, ...]
+    cold: Tuple[CacheStatistics, ...]
+
+    def warm_total(self) -> CacheStatistics:
+        """Sum of the warm per-phase statistics (== the one-shot replay)."""
+        return CacheStatistics(
+            accesses=sum(s.accesses for s in self.warm),
+            read_accesses=sum(s.read_accesses for s in self.warm),
+            write_accesses=sum(s.write_accesses for s in self.warm),
+            read_misses=sum(s.read_misses for s in self.warm),
+            write_misses=sum(s.write_misses for s in self.warm),
+        )
+
+
+def replay_phases(
+    views: Sequence[ColumnarTrace], config: CacheConfig
+) -> PhaseReplay:
+    """Warm-chained plus cold-started per-phase replay of one geometry.
+
+    The expensive part -- decoding each phase -- is shared between the
+    two replays (and with every other geometry at this line size), so
+    asking for both costs two cheap replays of the same views.
+    """
+    warm, _ = replay_chain(views, config)
+    return PhaseReplay(
+        warm=tuple(warm),
+        cold=tuple(replay(view, config) for view in views),
+    )
 
 
 # -- per-set potential-miss views --------------------------------------------------------

@@ -1,6 +1,6 @@
 """Black-box build-and-measure platform (the paper's Liquid Architecture platform)."""
 
 from repro.platform.liquid import LiquidPlatform
-from repro.platform.measurement import CostDelta, Measurement
+from repro.platform.measurement import CostDelta, Measurement, PhasedMeasurement
 
-__all__ = ["LiquidPlatform", "CostDelta", "Measurement"]
+__all__ = ["LiquidPlatform", "CostDelta", "Measurement", "PhasedMeasurement"]

@@ -30,13 +30,14 @@ from repro.fpga.device import FpgaDevice, XCV2000E
 from repro.fpga.report import ResourceReport
 from repro.fpga.synthesis import SynthesisModel
 from repro.microarch.cache import Cache, CacheConfig, CacheStatistics
-from repro.microarch.cachekernel import simulate_many
+from repro.microarch.cachekernel import PhaseReplay, replay_phases, simulate_many
 from repro.microarch.statistics import ExecutionStatistics
 from repro.microarch.timing import TimingModel, TimingParameters
-from repro.platform.measurement import Measurement
+from repro.platform.measurement import Measurement, PhasedMeasurement
 from repro.workloads.base import Workload
+from repro.workloads.phased import PhasedWorkload
 
-__all__ = ["LiquidPlatform", "CacheJob"]
+__all__ = ["LiquidPlatform", "CacheJob", "PhaseJob"]
 
 #: One outstanding cache simulation: ``(workload_fingerprint, "icache"|"dcache",
 #: geometry)``.  The engine layer fans these out over worker processes and
@@ -44,6 +45,13 @@ __all__ = ["LiquidPlatform", "CacheJob"]
 #: Keys use :meth:`~repro.workloads.base.Workload.fingerprint` rather than the
 #: workload name so same-named workloads with different traces never alias.
 CacheJob = Tuple[str, str, CacheConfig]
+
+#: One outstanding warm phase-chain replay, same key shape as :data:`CacheJob`
+#: but resolving to a :class:`~repro.microarch.cachekernel.PhaseReplay` (the
+#: per-phase warm-chained and cold-started statistics of one geometry).  The
+#: fingerprint of a :class:`~repro.workloads.phased.PhasedWorkload` covers its
+#: phase boundaries, so two different cuts of one trace never share a job.
+PhaseJob = Tuple[str, str, CacheConfig]
 
 
 class LiquidPlatform:
@@ -66,6 +74,7 @@ class LiquidPlatform:
         self._built: set = set()
         self._runs: Dict[Tuple, ExecutionStatistics] = {}
         self._cache_runs: Dict[Tuple, CacheStatistics] = {}
+        self._phase_runs: Dict[Tuple, PhaseReplay] = {}
         # effort accounting
         self.build_count = 0
         self.run_count = 0
@@ -168,6 +177,94 @@ class LiquidPlatform:
             view = workload.columnar_view(kind, linesize)
             statistics = simulate_many(view, [job[2] for job in group])
             results.update(zip(group, statistics))
+        return results
+
+    # -- warm phase chains -----------------------------------------------------------------
+
+    def phase_requests(
+        self, workload: PhasedWorkload, configs: Sequence[Configuration]
+    ) -> List[PhaseJob]:
+        """Distinct, not-yet-replayed phase chains needed for ``configs``.
+
+        The analogue of :meth:`cache_requests` for warm phase-chain
+        replays; job order is deterministic (first-need order) and every
+        job is independent: a chain replays against its own fresh state
+        with the geometry's seeded PRNG.
+        """
+        jobs: List[PhaseJob] = []
+        seen = set()
+        workload_key = workload.fingerprint()
+        for config in configs:
+            for key in self._cache_keys(workload_key, config):
+                if key in self._phase_runs or key in seen:
+                    continue
+                seen.add(key)
+                jobs.append(key)
+        return jobs
+
+    def install_phase_run(self, job: PhaseJob, replay: PhaseReplay) -> None:
+        """Install an externally replayed phase chain into the memo store."""
+        self._phase_runs.setdefault(job, replay)
+
+    def simulate_phase_chain(
+        self, workload: PhasedWorkload, job: PhaseJob
+    ) -> PhaseReplay:
+        """Replay one warm phase chain (plus cold starts) in-process."""
+        _, kind, cache_cfg = job
+        views = workload.phase_views(kind, cache_cfg.linesize_bytes)
+        return replay_phases(views, cache_cfg)
+
+    def simulate_phase_chains(
+        self, workload: PhasedWorkload, jobs: Sequence[PhaseJob]
+    ) -> Dict[PhaseJob, PhaseReplay]:
+        """Replay a batch of phase chains with shared per-phase decodes.
+
+        Jobs are grouped by ``(kind, linesize)``; each group decodes the
+        workload's phases once (cached on the workload) and replays every
+        configuration's chain against the shared views with its own
+        resident :class:`~repro.microarch.cachekernel.KernelState`.
+        """
+        groups: Dict[Tuple[str, int], List[PhaseJob]] = {}
+        for job in jobs:
+            _, kind, cache_cfg = job
+            groups.setdefault((kind, cache_cfg.linesize_bytes), []).append(job)
+        results: Dict[PhaseJob, PhaseReplay] = {}
+        for (kind, linesize), group in groups.items():
+            views = workload.phase_views(kind, linesize)
+            for job in group:
+                results[job] = replay_phases(views, job[2])
+        return results
+
+    def phase_replays(
+        self, workload: PhasedWorkload, config: Configuration
+    ) -> Tuple[PhaseReplay, PhaseReplay]:
+        """Memoised (icache, dcache) phase replays of one configuration."""
+        ikey, dkey = self._cache_keys(workload.fingerprint(), config)
+        for key in (ikey, dkey):
+            if key not in self._phase_runs:
+                self._phase_runs[key] = self.simulate_phase_chain(workload, key)
+        return self._phase_runs[ikey], self._phase_runs[dkey]
+
+    def measure_phases(
+        self, workload: PhasedWorkload, configs: Sequence[Configuration]
+    ) -> List[PhasedMeasurement]:
+        """Measure a batch of configurations with per-phase cache views.
+
+        The overall measurement of each configuration is exactly
+        :meth:`measure` (warm-chain totals are bit-identical to the
+        single-shot replay of the concatenated trace); the phased result
+        adds the warm-chained and cold-started per-phase statistics.
+        """
+        measurements = self.measure_many(workload, configs)
+        results = []
+        for config, measurement in zip(configs, measurements):
+            icache, dcache = self.phase_replays(workload, config)
+            results.append(PhasedMeasurement(
+                measurement=measurement,
+                phases=workload.phase_names,
+                icache=icache,
+                dcache=dcache,
+            ))
         return results
 
     def _cache_statistics(

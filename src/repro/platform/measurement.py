@@ -10,13 +10,14 @@ convenience delta methods compute the paper's rho (runtime %), lambda
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List, Tuple
 
 from repro.config.configuration import Configuration
 from repro.fpga.report import ResourceReport
+from repro.microarch.cachekernel import PhaseReplay
 from repro.microarch.statistics import ExecutionStatistics
 
-__all__ = ["Measurement", "CostDelta"]
+__all__ = ["Measurement", "CostDelta", "PhasedMeasurement"]
 
 
 @dataclass(frozen=True)
@@ -83,3 +84,49 @@ class Measurement:
             "lut_percent": self.lut_percent,
             "bram_percent": self.bram_percent,
         }
+
+
+@dataclass(frozen=True)
+class PhasedMeasurement:
+    """A measurement of a phase-structured workload, per-phase views included.
+
+    The overall :attr:`measurement` is bit-identical to measuring the
+    workload without phase structure (the warm chain's totals equal the
+    single-shot replay of the concatenated trace); what the phase view
+    adds is the per-phase cache behaviour, warm-chained *and*
+    cold-started, for both caches.
+    """
+
+    measurement: Measurement
+    #: Phase names, aligned with the per-phase statistics tuples.
+    phases: Tuple[str, ...]
+    #: Per-phase instruction-cache replay (warm chain + cold starts).
+    icache: PhaseReplay
+    #: Per-phase data-cache replay (warm chain + cold starts).
+    dcache: PhaseReplay
+
+    @property
+    def configuration(self) -> Configuration:
+        return self.measurement.configuration
+
+    @property
+    def cycles(self) -> int:
+        return self.measurement.cycles
+
+    def phase_rows(self) -> List[Dict[str, float]]:
+        """Per-phase cold/warm miss-rate rows for the phase-transition tables."""
+        rows = []
+        for i, phase in enumerate(self.phases):
+            cold = self.dcache.cold[i]
+            warm = self.dcache.warm[i]
+            rows.append({
+                "phase": phase,
+                "accesses": cold.accesses,
+                "cold_misses": cold.misses,
+                "warm_misses": warm.misses,
+                "cold_miss_rate": cold.miss_rate,
+                "warm_miss_rate": warm.miss_rate,
+                "icache_cold_miss_rate": self.icache.cold[i].miss_rate,
+                "icache_warm_miss_rate": self.icache.warm[i].miss_rate,
+            })
+        return rows

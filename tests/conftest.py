@@ -1,17 +1,77 @@
-"""Shared fixtures for the test suite.
+"""Shared fixtures and randomized-trace strategies for the test suite.
 
 The fixtures provide scaled-down workloads (fast functional simulation)
 and a shared measurement platform so that expensive campaign runs are
 memoised across tests within a session.
+
+The hypothesis strategies below are the single source of randomized
+cache geometries and address/write-mix traces, shared by the cache
+property suites (``test_cache.py``, ``test_cache_vectorized.py``,
+``test_warm_replay.py``): every suite drives the same trace shapes, so a
+kernel change that survives one suite cannot dodge the others on
+distribution differences.
 """
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
+from hypothesis import strategies as st
 
-from repro.config import base_configuration, leon_parameter_space
+from repro.config import Replacement, base_configuration, leon_parameter_space
 from repro.platform import LiquidPlatform
 from repro.workloads import ArithWorkload, BlastnWorkload, DrrWorkload, FragWorkload
+
+# -- randomized cache geometries and traces (hypothesis strategies) ------------------------
+
+#: Way counts exercised by the set-associative property suites.
+SET_ASSOCIATIVE_WAYS = (2, 3, 4)
+#: Way counts of the full kernel space (direct mapped included).
+ALL_WAYS = (1, 2, 3, 4)
+
+
+def geometry_strategy(ways=ALL_WAYS):
+    """Cache geometries: ways x {1,2,4} KB x {4,8}-word lines x all policies.
+
+    ``ways`` restricts the associativity (pass ``(1,)`` for the
+    direct-mapped corner, :data:`SET_ASSOCIATIVE_WAYS` for the
+    rank-synchronous replay).  Small way sizes force conflicts, evictions
+    and policy decisions on the small traces below.
+    """
+    return st.fixed_dictionaries({
+        "ways": st.sampled_from(list(ways)),
+        "setsize_kb": st.sampled_from([1, 2, 4]),
+        "linesize_words": st.sampled_from([4, 8]),
+        "replacement": st.sampled_from(sorted(Replacement.ALL)),
+    })
+
+
+def trace_strategy(max_address=1 << 10, max_size=400):
+    """Mixed read/write traces: lists of ``(word_address, is_write)``.
+
+    The default address space is deliberately small so traces collide in
+    the small geometries above; pass a larger ``max_address`` to stress
+    tag widths instead of conflicts.
+    """
+    return st.lists(
+        st.tuples(st.integers(min_value=0, max_value=max_address), st.booleans()),
+        min_size=0, max_size=max_size,
+    )
+
+
+def address_strategy(max_address=1 << 14, max_size=400, min_size=1):
+    """Read-only address traces (the instruction-fetch shape)."""
+    return st.lists(
+        st.integers(min_value=0, max_value=max_address),
+        min_size=min_size, max_size=max_size,
+    )
+
+
+def to_arrays(trace):
+    """Split a ``(word_address, is_write)`` trace into byte-address/write arrays."""
+    addresses = np.asarray([a for a, _ in trace], dtype=np.int64) * 4  # word aligned
+    writes = np.asarray([w for _, w in trace], dtype=bool)
+    return addresses, writes
 
 
 @pytest.fixture(scope="session")

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
+from conftest import address_strategy
 
 from repro.config import Replacement, base_configuration
 from repro.errors import ConfigurationError
@@ -131,7 +132,7 @@ class TestLruInclusion:
     """LRU caches obey the inclusion property: more capacity never adds misses."""
 
     @settings(max_examples=30, deadline=None)
-    @given(addresses=st.lists(st.integers(0, 1 << 14), min_size=1, max_size=400))
+    @given(addresses=address_strategy())
     def test_larger_lru_cache_never_misses_more(self, addresses):
         small = CacheConfig(ways=2, setsize_kb=1, linesize_words=4, replacement=Replacement.LRU)
         large = CacheConfig(ways=2, setsize_kb=4, linesize_words=4, replacement=Replacement.LRU)
@@ -140,7 +141,7 @@ class TestLruInclusion:
         assert large_misses <= small_misses
 
     @settings(max_examples=30, deadline=None)
-    @given(addresses=st.lists(st.integers(0, 1 << 14), min_size=1, max_size=400))
+    @given(addresses=address_strategy())
     def test_higher_lru_associativity_never_misses_more(self, addresses):
         low = CacheConfig(ways=2, setsize_kb=2, linesize_words=4, replacement=Replacement.LRU)
         high = CacheConfig(ways=4, setsize_kb=2, linesize_words=4, replacement=Replacement.LRU)

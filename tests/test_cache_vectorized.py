@@ -13,7 +13,8 @@ the one-access-at-a-time ``Cache.access()`` API.
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
+from conftest import SET_ASSOCIATIVE_WAYS, geometry_strategy, to_arrays, trace_strategy
 
 from repro.config import Replacement
 from repro.microarch.cache import Cache, CacheConfig
@@ -34,23 +35,16 @@ def scalar_reference(config: CacheConfig, addresses, writes):
     return read_misses, write_misses, cache._tags.copy()
 
 
-geometry = st.fixed_dictionaries({
-    "setsize_kb": st.sampled_from([1, 2, 4]),
-    "linesize_words": st.sampled_from([4, 8]),
-    "replacement": st.sampled_from(sorted(Replacement.ALL)),
-})
-traces = st.lists(
-    st.tuples(st.integers(min_value=0, max_value=1 << 16), st.booleans()),
-    min_size=0, max_size=400,
-)
+# wide addresses exercise tag widths; the shared default (1 << 10) forces conflicts
+geometry = geometry_strategy(ways=(1,))
+traces = trace_strategy(max_address=1 << 16)
 
 
 @given(geometry=geometry, trace=traces)
 @settings(max_examples=60, deadline=None)
 def test_direct_mapped_vectorized_matches_scalar_access_loop(geometry, trace):
-    config = CacheConfig(ways=1, **geometry)
-    addresses = np.asarray([a for a, _ in trace], dtype=np.int64) * 4  # word aligned
-    writes = np.asarray([w for _, w in trace], dtype=bool)
+    config = CacheConfig(**geometry)
+    addresses, writes = to_arrays(trace)
 
     ref_read, ref_write, ref_tags = scalar_reference(config, addresses, writes)
 
@@ -67,9 +61,8 @@ def test_direct_mapped_vectorized_matches_scalar_access_loop(geometry, trace):
 @given(geometry=geometry, trace=traces)
 @settings(max_examples=30, deadline=None)
 def test_direct_mapped_vectorized_matches_forced_scalar_simulate(geometry, trace):
-    config = CacheConfig(ways=1, **geometry)
-    addresses = np.asarray([a for a, _ in trace], dtype=np.int64) * 4
-    writes = np.asarray([w for _, w in trace], dtype=bool)
+    config = CacheConfig(**geometry)
+    addresses, writes = to_arrays(trace)
 
     scalar_cache = Cache(config)
     scalar_stats = scalar_cache.simulate(addresses, writes, vectorized=False)
@@ -90,8 +83,7 @@ def test_vectorized_path_preserves_state_across_calls(trace_a, trace_b):
         cache = Cache(config)
         out = []
         for trace in (trace_a, trace_b):
-            addresses = np.asarray([a for a, _ in trace], dtype=np.int64) * 4
-            writes = np.asarray([w for _, w in trace], dtype=bool)
+            addresses, writes = to_arrays(trace)
             out.append(cache.simulate(addresses, writes, vectorized=vectorized))
         return out, cache._tags.copy()
 
@@ -114,23 +106,10 @@ def test_read_only_trace_uses_direct_mapped_path():
 
 # -- set-associative kernel equivalence --------------------------------------------------
 
-set_associative_geometry = st.fixed_dictionaries({
-    "ways": st.sampled_from([2, 3, 4]),
-    "setsize_kb": st.sampled_from([1, 2, 4]),
-    "linesize_words": st.sampled_from([4, 8]),
-    "replacement": st.sampled_from(sorted(Replacement.ALL)),
-})
-# small address spaces force conflicts, evictions and policy decisions
-mixed_traces = st.lists(
-    st.tuples(st.integers(min_value=0, max_value=1 << 10), st.booleans()),
-    min_size=0, max_size=400,
-)
-
-
-def to_arrays(trace):
-    addresses = np.asarray([a for a, _ in trace], dtype=np.int64) * 4  # word aligned
-    writes = np.asarray([w for _, w in trace], dtype=bool)
-    return addresses, writes
+set_associative_geometry = geometry_strategy(ways=SET_ASSOCIATIVE_WAYS)
+# the shared default address space (1 << 10) forces conflicts, evictions
+# and policy decisions
+mixed_traces = trace_strategy()
 
 
 def assert_state_identical(kernel_cache, scalar_cache):

@@ -10,6 +10,9 @@ seeded RANDOM replacement, resource reports and the full cycle
 breakdown), across all four paper workloads.
 """
 
+import ast
+import pathlib
+
 import pytest
 
 from repro.config import Replacement, base_configuration
@@ -285,6 +288,59 @@ class TestStaleness:
         sequential = LiquidPlatform().measure_many(second, batch)
         assert through_pool == sequential
         engine.close()
+
+
+class TestEvaluatorHygiene:
+    """Worker pools are shut down deterministically, never left to __del__."""
+
+    def test_context_manager_shuts_down_the_pool(self, base_config, arith_small):
+        configs = [base_config, base_config.replace(dcache_sets=2),
+                   base_config.replace(dcache_setsize_kb=8)]
+        with ParallelEvaluator(workers=2) as engine:
+            engine.measure_many(arith_small, configs)
+            pool = engine._pool
+        assert engine._pool is None, "exiting the context must shut the pool down"
+        if pool is not None:  # pool may be absent where process spawning is blocked
+            assert pool._shutdown_thread or pool._processes is not None
+
+    def test_close_is_idempotent_and_evaluator_stays_usable(self, base_config,
+                                                            arith_small):
+        engine = ParallelEvaluator(workers=2)
+        engine.close()
+        engine.close()
+        # a closed evaluator restarts lazily instead of failing
+        measurement = engine.measure(arith_small, base_config)
+        engine.close()
+        assert measurement == LiquidPlatform().measure(arith_small, base_config)
+
+    def test_scripts_and_benchmarks_context_manage_every_evaluator(self):
+        """Every ParallelEvaluator in scripts/ and benchmarks/ is a `with` item.
+
+        Relying on ``__del__`` keeps worker processes alive until
+        interpreter teardown; this source-level guard fails when a new
+        script or benchmark constructs an evaluator outside a ``with``
+        statement (or the ``managed_backend`` helper, which itself uses
+        one).
+        """
+        root = pathlib.Path(__file__).resolve().parent.parent
+        offenders = []
+        for directory in ("scripts", "benchmarks"):
+            for path in sorted((root / directory).glob("*.py")):
+                tree = ast.parse(path.read_text(), filename=str(path))
+                managed = set()
+                for node in ast.walk(tree):
+                    if isinstance(node, (ast.With, ast.AsyncWith)):
+                        for item in node.items:
+                            managed.add(id(item.context_expr))
+                for node in ast.walk(tree):
+                    if (isinstance(node, ast.Call)
+                            and isinstance(node.func, ast.Name)
+                            and node.func.id == "ParallelEvaluator"
+                            and id(node) not in managed):
+                        offenders.append(f"{path.name}:{node.lineno}")
+        assert not offenders, (
+            "ParallelEvaluator constructed outside a context manager "
+            f"(pool shutdown would rely on __del__): {offenders}")
 
 
 class TestEngineStats:

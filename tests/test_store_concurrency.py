@@ -1,0 +1,110 @@
+"""Concurrent access to one shared SQLite result store.
+
+Large campaigns shard their configuration space across several evaluator
+processes that share one ``.sqlite`` store (the resumability story of
+ROADMAP's sharding follow-up).  These tests drive two evaluators -- and,
+separately, many raw writer threads -- against a single database file and
+assert the invariants that make sharing sound: no lost rows, no
+duplicated rows (the ``(context, fingerprint, config_key)`` primary key
+deduplicates racing writers), and a resuming evaluator answers entirely
+from the store regardless of which writer produced each row.
+"""
+
+import threading
+
+from repro.config import base_configuration
+from repro.engine import ParallelEvaluator, SqliteResultStore, open_store
+from repro.engine.store import workload_fingerprint
+from repro.platform import LiquidPlatform
+
+
+def config_grid(base, count):
+    """``count`` distinct configurations varying the dcache geometry."""
+    grid = []
+    for sets in (1, 2, 4):
+        for size in (1, 2, 4, 8, 16):
+            grid.append(base.replace(dcache_sets=sets, dcache_setsize_kb=size))
+    assert len(grid) >= count
+    return grid[:count]
+
+
+class TestTwoEvaluatorsOneStore:
+    def test_overlapping_batches_lose_and_duplicate_nothing(self, tmp_path,
+                                                            base_config,
+                                                            arith_small):
+        """Two evaluators with overlapping shards: the union survives exactly."""
+        path = str(tmp_path / "shared.sqlite")
+        grid = config_grid(base_config, 9)
+        shard_a, shard_b = grid[:6], grid[3:]  # overlap on grid[3:6]
+
+        first = ParallelEvaluator(workers=1, store=SqliteResultStore(path))
+        second = ParallelEvaluator(workers=1, store=SqliteResultStore(path))
+        with first, second:
+            results_a = first.measure_many(arith_small, shard_a)
+            results_b = second.measure_many(arith_small, shard_b)
+
+        # the overlap was measured twice but stored once: 9 rows, not 12
+        assert len(SqliteResultStore(path)) == len(grid)
+        # both evaluators agree bit-for-bit on the overlapping configurations
+        assert results_a[3:] == results_b[:3]
+
+        with ParallelEvaluator(workers=1, store=SqliteResultStore(path)) as reader:
+            resumed = reader.measure_many(arith_small, grid)
+            assert resumed[:6] == results_a
+            assert resumed[3:] == results_b
+            assert reader.stats.store_hits == len(grid)
+            assert reader.platform.effort()["runs"] == 0  # no re-simulation
+
+    def test_interleaved_writers_see_each_others_rows_on_reload(self, tmp_path,
+                                                                base_config,
+                                                                arith_small):
+        path = str(tmp_path / "interleaved.db")
+        grid = config_grid(base_config, 6)
+        first = ParallelEvaluator(workers=1, store=open_store(path))
+        second = ParallelEvaluator(workers=1, store=open_store(path))
+        with first, second:
+            for i, config in enumerate(grid):  # strict alternation
+                (first if i % 2 == 0 else second).measure(arith_small, config)
+        store = SqliteResultStore(path)
+        assert len(store) == len(grid)
+        for config in grid:
+            assert store.get(arith_small, config) is not None
+
+
+class TestThreadedWriters:
+    def test_racing_threads_neither_lose_nor_duplicate_rows(self, tmp_path,
+                                                            base_config,
+                                                            arith_small):
+        """Many threads, own connections, same file, overlapping rows."""
+        path = str(tmp_path / "threads.sqlite")
+        grid = config_grid(base_config, 10)
+        # measure once up front; the race under test is the store, not the sim
+        measurements = LiquidPlatform().measure_many(arith_small, grid)
+        errors = []
+
+        def writer(offset):
+            try:
+                store = SqliteResultStore(path)  # one connection per thread
+                # every thread writes the full set, starting at its own offset
+                for i in range(len(grid)):
+                    index = (offset + i) % len(grid)
+                    store.put(arith_small, measurements[index])
+                store.close()
+            except Exception as error:  # pragma: no cover - failure reporting
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer, args=(offset,))
+                   for offset in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors, f"writer thread failed: {errors[0]!r}"
+        store = SqliteResultStore(path)
+        assert len(store) == len(grid)  # every row exactly once
+        fingerprint = workload_fingerprint(arith_small)
+        for config, expected in zip(grid, measurements):
+            from repro.engine.store import _config_key_string
+            assert (fingerprint, _config_key_string(config)) in store
+            assert store.get(arith_small, config) == expected
