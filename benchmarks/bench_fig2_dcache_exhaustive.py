@@ -22,6 +22,7 @@ paper-shape assertions that need benchmark-scale traces are skipped.
 import time
 
 import pytest
+from bench_sweep_throughput import per_config_reference_timing
 from conftest import SMOKE, emit
 
 from repro.analysis import dcache_exhaustive, engine_report
@@ -71,13 +72,23 @@ def _scalar_dcache_job(ways_threshold):
 
 
 def _timed_sweep(workload, *, ways_threshold=None):
-    """One sequential Figure-2 sweep on a fresh platform; returns (result, seconds)."""
+    """One sequential Figure-2 sweep on a fresh platform; returns (result, seconds).
+
+    Historical baselines (``ways_threshold`` given) also run the
+    per-configuration measurement loop with the unmemoised reference
+    timing model -- the seed and PR 1 eras had neither the broadcast
+    sweep path nor the trace feature memos.
+    """
     platform = LiquidPlatform()
     if ways_threshold is not None:
         platform.simulate_cache_job = _scalar_dcache_job(ways_threshold).__get__(platform)
         # grouped batching would bypass the override; fall back to per-job
         platform.simulate_cache_jobs = (
             lambda w, jobs: {job: platform.simulate_cache_job(w, job) for job in jobs})
+        with per_config_reference_timing():
+            start = time.perf_counter()
+            result = dcache_exhaustive(platform, workload, sweep=False)
+            return result, time.perf_counter() - start
     start = time.perf_counter()
     result = dcache_exhaustive(platform, workload)
     return result, time.perf_counter() - start

@@ -1,0 +1,248 @@
+"""Sweep-measurement throughput: per-config scalar vs broadcast-batched vs arena.
+
+Measures configs/sec of the measurement path on two sweep shapes:
+
+* the **Figure-2 exhaustive dcache grid** (geometry-dense: every point is
+  a distinct data-cache geometry, so trace-driven cache replay dominates
+  and the batched timing evaluation trims the per-configuration Python
+  overhead on top);
+* a **pipeline-parameter sweep** (the dense regime of the one-factor
+  campaigns and the BINLP tuner: hundreds of configurations share a
+  handful of cache geometries, so the per-configuration timing-model
+  loop *is* the cost, and the broadcast path collapses it into a few
+  array operations).
+
+Three variants run on every grid: ``scalar`` is the faithful
+per-configuration baseline (``measure_many`` with the unmemoised
+:meth:`TimingModel.evaluate_reference` per point -- the pre-sweep
+behaviour), ``batched`` is the sequential
+:meth:`LiquidPlatform.measure_sweep` broadcast path, and
+``batched_arena`` runs the same sweep through a
+:class:`ParallelEvaluator` with the zero-copy shared-memory trace arena.
+All three must agree bit for bit; the wall-clock assertions only run at
+benchmark scale (``REPRO_BENCH_SMOKE=1`` keeps the equality and
+shared-memory-hygiene assertions, which is what the CI perf-smoke job
+checks).
+
+Results are written to ``benchmarks/BENCH_sweep.json`` so the perf
+trajectory of the sweep path is machine readable across PRs.
+"""
+
+import contextlib
+import glob
+import itertools
+import json
+import pathlib
+import time
+
+from conftest import SMOKE, emit
+
+from repro.analysis import dcache_exhaustive, engine_report
+from repro.config import CACHE_SET_COUNTS, CACHE_SET_SIZES_KB, base_configuration
+from repro.config.leon_space import Multiplier
+from repro.engine import ParallelEvaluator, arena_available
+from repro.microarch.timing import TimingModel
+from repro.platform import LiquidPlatform
+
+#: Committed full-scale trajectory; smoke runs write the sibling
+#: ``BENCH_sweep.smoke.json`` so CI never clobbers the tracked artifact.
+RESULT_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_sweep.json"
+SMOKE_RESULT_PATH = RESULT_PATH.with_name("BENCH_sweep.smoke.json")
+#: The ≥5x configs/sec acceptance floor for the broadcast path on the
+#: timing-dominated sweep regime.
+SPEEDUP_FLOOR = 5.0
+
+
+@contextlib.contextmanager
+def per_config_reference_timing():
+    """Run the platform with the pre-sweep per-configuration timing path.
+
+    ``evaluate_reference`` recomputes every trace reduction per call --
+    histogram, hazard counts, the scalar window-trap walk, the latency
+    dict rebuilds -- exactly like the original ``TimingModel.evaluate``
+    did, making the scalar baseline faithful to the pre-batching code.
+    """
+    original = TimingModel.evaluate
+    TimingModel.evaluate = TimingModel.evaluate_reference
+    try:
+        yield
+    finally:
+        TimingModel.evaluate = original
+
+
+def fig2_grid(platform):
+    base = base_configuration()
+    points = [
+        base.replace(dcache_sets=sets, dcache_setsize_kb=size)
+        for sets, size in itertools.product(CACHE_SET_COUNTS, CACHE_SET_SIZES_KB)
+    ]
+    return [config for config in points if platform.fits(config)]
+
+
+def pipeline_grid(platform):
+    """Dense non-cache sweep: hundreds of configs over two cache geometries."""
+    base = base_configuration()
+    points = [
+        base.replace(
+            fast_jump=fast_jump, icc_hold=icc_hold, fast_decode=fast_decode,
+            load_delay=load_delay, dcache_fast_read=fast_read,
+            dcache_fast_write=fast_write, register_windows=windows,
+            multiplier=multiplier,
+            dcache_setsize_kb=dcache_kb)
+        for fast_jump, icc_hold, fast_decode, load_delay, fast_read, fast_write,
+            windows, multiplier, dcache_kb in itertools.product(
+                (True, False), (True, False), (True, False), (1, 2),
+                (True, False), (True, False), (8, 16),
+                (Multiplier.M16X16, Multiplier.M32X32), (4, 8))
+    ]
+    return [config for config in points if platform.fits(config)]
+
+
+def timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def run_variants(fresh_workload, configs):
+    """Measure the grid through all three paths; returns (stats, timings)."""
+    # the config-independent trace and its columnar decodes are shared by
+    # every variant in the real flow; pre-warm them for the sequential
+    # variants so the comparison times the measurement path, not trace
+    # generation
+    workload = fresh_workload()
+    workload.trace()
+    linesizes = {("icache", c.icache_linesize_words * 4) for c in configs}
+    linesizes |= {("dcache", c.dcache_linesize_words * 4) for c in configs}
+    for kind, linesize in sorted(linesizes):
+        workload.columnar_view(kind, linesize)
+
+    with per_config_reference_timing():
+        scalar, scalar_seconds = timed(
+            lambda: LiquidPlatform().measure_many(workload, configs))
+    batched, batched_seconds = timed(
+        lambda: LiquidPlatform().measure_sweep(workload, configs))
+
+    # the arena variant gets its own workload instance whose views are NOT
+    # pre-decoded: the timed sweep pays the real cold-sweep decode cost, and
+    # the decode accounting below is exact
+    arena_workload = fresh_workload()
+    arena_workload.trace()
+    with ParallelEvaluator(LiquidPlatform(), workers=2, arena=True) as engine:
+        # spawn the pool on an off-grid batch first: the pool and arena are
+        # long-lived engine state, so steady-state sweeps do not pay startup
+        warmup = [base_configuration().replace(
+            dcache_sets=sets, dcache_setsize_kb=32 if SMOKE else 16,
+            dcache_replacement="lru") for sets in (2, 3)]
+        warmup = [c for c in warmup if engine.fits(c)]
+        engine.measure_sweep(arena_workload, warmup)
+        arena_result, arena_seconds = timed(
+            lambda: engine.measure_sweep(arena_workload, configs))
+        stats = engine.stats.as_dict()
+        arena_ok = (engine.stats.parallel_simulations > 0
+                    and arena_available())
+        if arena_ok:
+            # one decode per host: nothing was decoded inside a worker, and
+            # the parent decoded each (kind, linesize) shared-decode group
+            # exactly once across the warmup + timed batches
+            assert engine.stats.worker_decodes == 0
+            assert engine.stats.host_decodes == len(linesizes)
+            assert engine.stats.arena_segments > 0
+        emit(engine_report(engine))
+
+    assert batched == scalar, "batched sweep diverges from the scalar path"
+    assert arena_result == scalar, "arena sweep diverges from the scalar path"
+    timings = {
+        "scalar": scalar_seconds,
+        "batched": batched_seconds,
+        "batched_arena": arena_seconds,
+    }
+    return stats, timings
+
+
+def report(name, configs, timings):
+    lines = [f"\n{name}: {len(configs)} grid points"]
+    for variant, seconds in timings.items():
+        lines.append(
+            f"  {variant:<14} {seconds:8.3f}s  {len(configs) / seconds:10.1f} configs/sec")
+    lines.append(
+        f"  speedup batched vs scalar {timings['scalar'] / timings['batched']:.2f}x, "
+        f"arena vs scalar {timings['scalar'] / timings['batched_arena']:.2f}x")
+    print("\n".join(lines))
+
+
+def to_entry(configs, timings, stats=None):
+    entry = {
+        "points": len(configs),
+        "variants": {
+            variant: {
+                "seconds": round(seconds, 4),
+                "configs_per_sec": round(len(configs) / seconds, 1),
+            }
+            for variant, seconds in timings.items()
+        },
+        "speedup_batched_vs_scalar": round(timings["scalar"] / timings["batched"], 2),
+        "speedup_arena_vs_scalar": round(
+            timings["scalar"] / timings["batched_arena"], 2),
+    }
+    if stats is not None:
+        entry["engine"] = stats
+    return entry
+
+
+def test_sweep_throughput_trajectory():
+    from repro.workloads import small_workloads, standard_workloads
+
+    def fresh_blastn():
+        source = small_workloads if SMOKE else standard_workloads
+        return source()["blastn"]
+
+    platform = LiquidPlatform()
+    shm_before = set(glob.glob("/dev/shm/psm_*"))
+
+    fig2 = fig2_grid(platform)
+    fig2_stats, fig2_timings = run_variants(fresh_blastn, fig2)
+    report("Figure-2 dcache grid (geometry-dense)", fig2, fig2_timings)
+
+    pipeline = pipeline_grid(platform)
+    pipe_stats, pipe_timings = run_variants(fresh_blastn, pipeline)
+    report("Pipeline-parameter sweep (timing-dense)", pipeline, pipe_timings)
+
+    # no shared-memory segment survives the evaluators
+    leaked = set(glob.glob("/dev/shm/psm_*")) - shm_before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+
+    payload = {
+        "smoke": SMOKE,
+        "workload": "blastn",
+        "figure2_grid": to_entry(fig2, fig2_timings, fig2_stats),
+        "pipeline_grid": to_entry(pipeline, pipe_timings, pipe_stats),
+        "speedup_floor": SPEEDUP_FLOOR,
+    }
+    result_path = SMOKE_RESULT_PATH if SMOKE else RESULT_PATH
+    result_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {result_path}")
+
+    if SMOKE:
+        return  # CI smoke checks equality + hygiene; wall clock is meaningless
+    # the broadcast path must never lose to the per-config loop, even on the
+    # geometry-dense grid where cache replay dominates ...
+    assert fig2_timings["batched"] < fig2_timings["scalar"], (
+        f"batched Figure-2 sweep ({fig2_timings['batched']:.3f}s) not faster "
+        f"than the per-config baseline ({fig2_timings['scalar']:.3f}s)")
+    # ... and on the timing-dense sweep regime it must clear the 5x floor
+    speedup = pipe_timings["scalar"] / pipe_timings["batched"]
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"batched pipeline sweep speedup {speedup:.2f}x below the "
+        f"{SPEEDUP_FLOOR}x floor")
+
+
+def test_sweep_path_wired_into_figure2_driver(workloads):
+    """The Figure-2 driver routes through measure_sweep and stays bit-identical."""
+    workload = workloads["arith" if SMOKE else "blastn"]
+    with ParallelEvaluator(LiquidPlatform(), workers=2, arena=True) as engine:
+        swept = dcache_exhaustive(engine, workload)
+        assert engine.stats.sweep_batches == 1
+        assert engine.stats.sweep_evaluations == len(swept.data["rows"])
+    scalar = dcache_exhaustive(LiquidPlatform(), workload, sweep=False)
+    assert swept.data["rows"] == scalar.data["rows"]

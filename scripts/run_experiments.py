@@ -12,7 +12,10 @@ path ends in ``.sqlite``/``.db``; either makes a full reproduction
 resumable and shareable across runs), ``--profile`` to print per-stage
 wall-clock, ``--phases`` to add the phase-transition study (cold-start
 vs warm-chained per-phase miss rates of the multi-phase scenarios), or
-``--sequential`` to fall back to the bare platform.  Engine statistics
+``--sequential`` to fall back to the bare platform.  Dense configuration
+grids (the Figure 2/4 sweeps) go through the broadcast-batched
+``measure_sweep`` fast path by default; ``--no-sweep`` forces the
+per-configuration loop (the two are bit-identical).  Engine statistics
 (dedup hits, store hits, workers, wall clock) are printed at the end.
 """
 
@@ -62,6 +65,11 @@ def parse_args() -> argparse.Namespace:
         "--phases", action="store_true",
         help="add the phase-transition study: cold-start vs warm-chained "
              "per-phase miss rates of the multi-phase workload scenarios")
+    parser.add_argument(
+        "--sweep", action=argparse.BooleanOptionalAction, default=True,
+        help="route dense configuration grids (Figures 2/4) through the "
+             "broadcast-batched measure_sweep fast path (bit-identical to "
+             "the per-configuration path; --no-sweep disables it)")
     args = parser.parse_args()
     if args.profile and args.sequential:
         parser.error("--profile requires the engine backend; drop --sequential")
@@ -108,9 +116,9 @@ def main() -> None:
 
     with managed_backend(args) as platform:
         show(parameter_space_summary(), "Figure 1: parameter space")
-        show(dcache_exhaustive(platform, workloads["blastn"]),
+        show(dcache_exhaustive(platform, workloads["blastn"], sweep=args.sweep),
              "Figure 2: BLASTN dcache exhaustive")
-        fig4 = dcache_study(platform, workloads)
+        fig4 = dcache_study(platform, workloads, sweep=args.sweep)
         show(fig4, "Figures 3/4: dcache exhaustive vs optimizer")
         fig5 = runtime_optimization(platform, workloads)
         show(fig5, "Figure 5: application runtime optimization (w1=100, w2=1)")

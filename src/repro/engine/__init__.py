@@ -14,6 +14,7 @@ and the parallel evaluator alike -- satisfies the structural
 are written once against the protocol and scaled by swapping the backend.
 """
 
+from repro.engine.arena import ArenaBlock, TraceArena, arena_available
 from repro.engine.backend import EngineStats, EvaluationBackend
 from repro.engine.parallel import ParallelEvaluator
 from repro.engine.store import (
@@ -25,9 +26,12 @@ from repro.engine.store import (
 )
 
 __all__ = [
+    "ArenaBlock",
     "EngineStats",
     "EvaluationBackend",
     "ParallelEvaluator",
+    "TraceArena",
+    "arena_available",
     "ResultStore",
     "ResultStoreBase",
     "SqliteResultStore",

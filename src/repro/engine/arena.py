@@ -1,0 +1,289 @@
+"""Zero-copy shared-memory trace arena.
+
+The parallel evaluator's workers replay *decoded* columnar trace views;
+the decode is a property of ``(trace, kind, linesize)`` only.  Before the
+arena, every worker process received the raw trace arrays by pickle (the
+pool initializer) and re-decoded each shared-decode group it touched, so
+a batch fanned over N workers paid up to N decodes per group.  The arena
+removes both copies:
+
+* the parent publishes the raw trace columns *and* the decoded
+  :class:`~repro.microarch.cachekernel.ColumnarTrace` views into
+  :class:`multiprocessing.shared_memory.SharedMemory` segments;
+* workers attach by segment name and wrap the buffers in NumPy arrays
+  without copying -- a multi-config batch therefore decodes **once per
+  host**, and the per-worker trace registry holds page-shared views
+  instead of pickled duplicates;
+* the parent owns every segment and unlinks them all deterministically
+  in :meth:`TraceArena.close` (called from
+  ``ParallelEvaluator.close``/``__exit__``), so no ``/dev/shm`` segment
+  survives the evaluator.
+
+An :class:`ArenaBlock` is the small picklable handle shipped to workers:
+segment name plus the field layout (name, dtype, length, byte offset)
+and scalar metadata.  Attachments are cached per process, and attached
+arrays are marked read-only -- the arena is strictly a publish-once,
+read-many structure.
+"""
+
+from __future__ import annotations
+
+import atexit
+import gc
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - shared_memory ships with CPython >= 3.8
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover
+    _shm = None
+
+__all__ = [
+    "ArenaBlock",
+    "TraceArena",
+    "arena_available",
+    "attach",
+    "attach_view",
+]
+
+#: Byte alignment of each field within a segment (numpy-friendly).
+_ALIGN = 16
+
+#: Segment names created by arenas of THIS process (attach consults this:
+#: a creator re-attaching its own segment must leave the single tracker
+#: registration for unlink to consume).
+_CREATED: set = set()
+
+
+@dataclass(frozen=True)
+class ArenaBlock:
+    """Picklable handle of one published segment (layout + metadata)."""
+
+    #: Shared-memory segment name (attachable from any process on the host).
+    segment: str
+    #: Field layout: ``(field name, dtype string, length, byte offset)``.
+    fields: Tuple[Tuple[str, str, int, int], ...]
+    #: Scalar metadata (e.g. line size and access counts of a view).
+    meta: Tuple[Tuple[str, int], ...]
+    #: Total segment size in bytes.
+    nbytes: int
+
+    def meta_dict(self) -> Dict[str, int]:
+        return dict(self.meta)
+
+
+def arena_available() -> bool:
+    """True when shared-memory segments can be created on this host."""
+    if _shm is None:
+        return False
+    try:
+        probe = _shm.SharedMemory(create=True, size=16)
+    except (OSError, PermissionError):  # pragma: no cover - restricted sandboxes
+        return False
+    try:
+        probe.close()
+        probe.unlink()
+    except OSError:  # pragma: no cover
+        pass
+    return True
+
+
+class TraceArena:
+    """Parent-side owner of the published segments.
+
+    The arena creates segments, copies arrays in, and releases its NumPy
+    views immediately, so :meth:`close` can always close and unlink every
+    segment (a retained exported buffer would make ``mmap.close`` fail).
+    """
+
+    def __init__(self):
+        if _shm is None:  # pragma: no cover
+            raise OSError("multiprocessing.shared_memory is unavailable")
+        self._segments: Dict[str, "_shm.SharedMemory"] = {}
+        self.published_bytes = 0
+
+    # -- publishing ------------------------------------------------------------------
+
+    def publish(
+        self,
+        arrays: Mapping[str, np.ndarray],
+        meta: Optional[Mapping[str, int]] = None,
+    ) -> ArenaBlock:
+        """Copy ``arrays`` into one fresh segment and return its handle."""
+        layout: List[Tuple[str, str, int, int]] = []
+        offset = 0
+        contiguous = {name: np.ascontiguousarray(a) for name, a in arrays.items()}
+        for name, array in contiguous.items():
+            offset = -(-offset // _ALIGN) * _ALIGN  # round up
+            layout.append((name, array.dtype.str, int(array.shape[0]), offset))
+            offset += array.nbytes
+        segment = _shm.SharedMemory(create=True, size=max(1, offset))
+        try:
+            for (name, dtype, length, field_offset), array in zip(
+                    layout, contiguous.values()):
+                if length:
+                    dst = np.frombuffer(
+                        segment.buf, dtype=np.dtype(dtype),
+                        count=length, offset=field_offset)
+                    dst[:] = array
+                    del dst  # release the exported buffer so close() stays legal
+        except Exception:  # pragma: no cover - publish must not leak the segment
+            segment.close()
+            segment.unlink()
+            raise
+        self._segments[segment.name] = segment
+        _CREATED.add(segment.name)
+        self.published_bytes += max(1, offset)
+        return ArenaBlock(
+            segment=segment.name,
+            fields=tuple(layout),
+            meta=tuple(sorted((meta or {}).items())),
+            nbytes=max(1, offset),
+        )
+
+    def publish_view(self, view) -> ArenaBlock:
+        """Publish a decoded :class:`~repro.microarch.cachekernel.ColumnarTrace`."""
+        return self.publish(
+            {
+                "event_line": view.event_line,
+                "event_first_read": view.event_first_read,
+                "event_last_pos": view.event_last_pos,
+                "event_writes_before_read": view.event_writes_before_read,
+            },
+            meta={
+                "linesize_bytes": view.linesize_bytes,
+                "accesses": view.accesses,
+                "write_accesses": view.write_accesses,
+            },
+        )
+
+    def publish_trace(
+        self,
+        pcs: np.ndarray,
+        data_addresses: np.ndarray,
+        data_is_write: np.ndarray,
+    ) -> ArenaBlock:
+        """Publish the raw trace columns the worker registry used to pickle."""
+        return self.publish({
+            "pcs": pcs,
+            "data_addresses": data_addresses,
+            "data_is_write": data_is_write,
+        })
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    @property
+    def segment_names(self) -> Tuple[str, ...]:
+        return tuple(self._segments)
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    def close(self) -> None:
+        """Close and unlink every published segment (idempotent)."""
+        for name, segment in self._segments.items():
+            try:
+                segment.close()
+            except (OSError, BufferError):  # pragma: no cover
+                pass
+            try:
+                segment.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
+            _CREATED.discard(name)
+        self._segments.clear()
+
+
+# -- worker-side attachment ------------------------------------------------------------
+
+#: Per-process attachments: segment name -> (SharedMemory, field arrays).
+_ATTACHED: Dict[str, Tuple[object, Dict[str, np.ndarray]]] = {}
+#: Per-process reconstructed ColumnarTrace views, keyed by segment name so a
+#: view's per-set caches survive across tasks.
+_ATTACHED_VIEWS: Dict[str, object] = {}
+_CLEANUP_REGISTERED = False
+
+
+def _cleanup_attachments() -> None:  # pragma: no cover - runs at interpreter exit
+    """Drop array views, then close the attachments (best effort)."""
+    _ATTACHED_VIEWS.clear()
+    segments = [segment for segment, _ in _ATTACHED.values()]
+    _ATTACHED.clear()
+    gc.collect()
+    for segment in segments:
+        try:
+            segment.close()
+        except (OSError, BufferError):
+            pass
+
+
+def attach(block: ArenaBlock) -> Dict[str, np.ndarray]:
+    """Attach a published block; returns zero-copy read-only field arrays.
+
+    Attachments are cached per process and stay mapped until the process
+    exits (an :mod:`atexit` hook closes them).  Ownership stays with the
+    parent -- no attaching process may ever unlink.  The resource-tracker
+    bookkeeping that attach performs (Python <= 3.12 registers attaches
+    too) depends on the start method: under *fork* every process shares
+    the parent's tracker, so the attach-register is an idempotent set-add
+    that the parent's unlink removes once; under *spawn* (or any
+    non-fork method) each child runs its own tracker, which would unlink
+    the still-published segment when the child exits, so the attach is
+    unregistered from the child's tracker immediately.
+    """
+    global _CLEANUP_REGISTERED
+    cached = _ATTACHED.get(block.segment)
+    if cached is not None:
+        return cached[1]
+    segment = _shm.SharedMemory(name=block.segment)
+    try:
+        import multiprocessing
+
+        if (block.segment not in _CREATED
+                and multiprocessing.get_start_method(allow_none=True) != "fork"):
+            # pragma: no cover - Linux CI runs fork; exercised on spawn hosts
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker layout varies per platform
+        pass
+    arrays: Dict[str, np.ndarray] = {}
+    for name, dtype, length, offset in block.fields:
+        array = np.frombuffer(
+            segment.buf, dtype=np.dtype(dtype), count=length, offset=offset)
+        array.flags.writeable = False
+        arrays[name] = array
+    _ATTACHED[block.segment] = (segment, arrays)
+    if not _CLEANUP_REGISTERED:
+        atexit.register(_cleanup_attachments)
+        _CLEANUP_REGISTERED = True
+    return arrays
+
+
+def attach_view(block: ArenaBlock):
+    """Attach a published columnar view as a shared ColumnarTrace.
+
+    The reconstructed view is cached per process by segment name, so its
+    per-set potential-miss caches (built lazily during replay) persist
+    across tasks exactly like a locally decoded view's would.
+    """
+    view = _ATTACHED_VIEWS.get(block.segment)
+    if view is None:
+        from repro.microarch.cachekernel import ColumnarTrace
+
+        arrays = attach(block)
+        meta = block.meta_dict()
+        view = ColumnarTrace(
+            linesize_bytes=meta["linesize_bytes"],
+            accesses=meta["accesses"],
+            write_accesses=meta["write_accesses"],
+            event_line=arrays["event_line"],
+            event_first_read=arrays["event_first_read"],
+            event_last_pos=arrays["event_last_pos"],
+            event_writes_before_read=arrays["event_writes_before_read"],
+        )
+        _ATTACHED_VIEWS[block.segment] = view
+    return view

@@ -53,6 +53,19 @@ class EvaluationBackend(Protocol):
         """Measure a batch of configurations; results align with ``configs``."""
         ...
 
+    def measure_sweep(
+        self, workload: Workload, configs: Sequence[Configuration]
+    ) -> List[Measurement]:
+        """Measure a configuration grid through the broadcast-batched path.
+
+        Semantically identical to :meth:`measure_many` -- same results,
+        bit for bit, same memo sharing -- but implementations may
+        evaluate the timing model for the whole grid as array operations
+        (one trace feature vector broadcast over compiled configuration
+        columns) instead of once per configuration.
+        """
+        ...
+
     def measure_phases(self, workload, configs: Sequence[Configuration]) -> List:
         """Measure a phased workload's batch with per-phase warm/cold views.
 
@@ -108,6 +121,22 @@ class EngineStats:
     #: benchmark asserts this on the single-worker path, where the count
     #: is exact.
     phase_decodes: int = 0
+    #: Broadcast-batched sweep calls served and configurations evaluated
+    #: through :func:`~repro.microarch.timing.evaluate_many`.
+    sweep_batches: int = 0
+    sweep_evaluations: int = 0
+    #: Columnar decodes performed in the parent process.  With the arena on,
+    #: these are the *only* decodes of a batch -- workers attach the
+    #: published views zero-copy -- so "one decode per host" is exactly
+    #: ``host_decodes == cache_groups`` with ``worker_decodes == 0``.
+    host_decodes: int = 0
+    #: Columnar decodes performed inside worker processes (the non-arena
+    #: pool path pays up to one per worker per shared-decode group).
+    worker_decodes: int = 0
+    #: Shared-memory segments currently published by the evaluator's arena,
+    #: and the bytes they hold (0 when the arena is off or closed).
+    arena_segments: int = 0
+    arena_bytes: int = 0
     #: Batch calls served.
     batches: int = 0
     #: Wall-clock seconds spent inside the batch API.
@@ -134,6 +163,12 @@ class EngineStats:
             "cache_groups": self.cache_groups,
             "phase_chains": self.phase_chains,
             "phase_decodes": self.phase_decodes,
+            "sweep_batches": self.sweep_batches,
+            "sweep_evaluations": self.sweep_evaluations,
+            "host_decodes": self.host_decodes,
+            "worker_decodes": self.worker_decodes,
+            "arena_segments": self.arena_segments,
+            "arena_bytes": self.arena_bytes,
             "batches": self.batches,
             "wall_seconds": round(self.wall_seconds, 3),
         }

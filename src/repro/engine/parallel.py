@@ -40,6 +40,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.config.configuration import Configuration
+from repro.engine import arena as arena_mod
+from repro.engine.arena import ArenaBlock, TraceArena, arena_available
 from repro.engine.backend import EngineStats
 from repro.engine.store import ResultStoreBase
 from repro.fpga.report import ResourceReport
@@ -59,8 +61,11 @@ from repro.workloads.phased import PhasedWorkload
 
 __all__ = ["ParallelEvaluator"]
 
-#: Per-worker trace registry, populated by the pool initializer.
-_WORKER_TRACES: Dict[str, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+#: Per-worker trace registry, populated by the pool initializer.  Values are
+#: either the pickled ``(pcs, data_addresses, data_is_write)`` arrays or an
+#: :class:`~repro.engine.arena.ArenaBlock` naming the shared-memory segment
+#: holding them (attached lazily, zero-copy).
+_WORKER_TRACES: Dict[str, object] = {}
 #: Per-worker phase boundaries of phased workloads: fingerprint ->
 #: (instruction-stream bounds, data-access-stream bounds).
 _WORKER_PHASES: Dict[str, Tuple[Tuple[int, ...], Tuple[int, ...]]] = {}
@@ -71,7 +76,7 @@ _WORKER_PHASE_VIEWS: Dict[Tuple[str, str, int], List[ColumnarTrace]] = {}
 
 
 def _init_worker(
-    traces: Dict[str, Tuple[np.ndarray, np.ndarray, np.ndarray]],
+    traces: Dict[str, object],
     phases: Optional[Dict[str, Tuple[Tuple[int, ...], Tuple[int, ...]]]] = None,
 ) -> None:
     global _WORKER_TRACES, _WORKER_PHASES, _WORKER_VIEWS, _WORKER_PHASE_VIEWS
@@ -81,11 +86,20 @@ def _init_worker(
     _WORKER_PHASE_VIEWS = {}
 
 
+def _worker_arrays(workload_key: str) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Resolve a registered trace to arrays, attaching arena blocks lazily."""
+    entry = _WORKER_TRACES[workload_key]
+    if isinstance(entry, ArenaBlock):
+        arrays = arena_mod.attach(entry)
+        return arrays["pcs"], arrays["data_addresses"], arrays["data_is_write"]
+    return entry
+
+
 def _worker_view(workload_key: str, kind: str, linesize_bytes: int) -> ColumnarTrace:
     key = (workload_key, kind, linesize_bytes)
     view = _WORKER_VIEWS.get(key)
     if view is None:
-        pcs, data_addresses, data_is_write = _WORKER_TRACES[workload_key]
+        pcs, data_addresses, data_is_write = _worker_arrays(workload_key)
         if kind == "icache":
             view = decode_trace(pcs, linesize_bytes=linesize_bytes)
         else:
@@ -102,7 +116,7 @@ def _worker_phase_views(
     key = (workload_key, kind, linesize_bytes)
     views = _WORKER_PHASE_VIEWS.get(key)
     if views is None:
-        pcs, data_addresses, data_is_write = _WORKER_TRACES[workload_key]
+        pcs, data_addresses, data_is_write = _worker_arrays(workload_key)
         pc_bounds, data_bounds = _WORKER_PHASES[workload_key]
         views = []
         if kind == "icache":
@@ -119,11 +133,34 @@ def _worker_phase_views(
 
 def _run_cache_group(
     chunk: Tuple[CacheJob, ...]
-) -> Tuple[Tuple[CacheJob, ...], List[CacheStatistics]]:
-    """Replay one shared-decode job chunk; results align with the chunk."""
+) -> Tuple[Tuple[CacheJob, ...], List[CacheStatistics], int, float]:
+    """Replay one shared-decode job chunk; results align with the chunk.
+
+    Also returns the fresh-decode count / wall-clock this call paid (zero
+    when this worker already held the group's view), so the engine's
+    decode accounting stays truthful across the pool.
+    """
     workload_key, kind, first_cfg = chunk[0]
+    fresh = (workload_key, kind, first_cfg.linesize_bytes) not in _WORKER_VIEWS
+    decode_start = time.perf_counter()
     view = _worker_view(workload_key, kind, first_cfg.linesize_bytes)
-    return chunk, simulate_many(view, [job[2] for job in chunk])
+    decode_seconds = time.perf_counter() - decode_start if fresh else 0.0
+    statistics = simulate_many(view, [job[2] for job in chunk])
+    return chunk, statistics, (1 if fresh else 0), decode_seconds
+
+
+def _run_cache_group_arena(
+    chunk: Tuple[CacheJob, ...], block: ArenaBlock
+) -> Tuple[Tuple[CacheJob, ...], List[CacheStatistics], int, float]:
+    """Replay one job chunk against a host-published decoded view.
+
+    The view was decoded once in the parent and published to the arena;
+    this worker attaches it zero-copy, so the decode count is always
+    zero -- which is exactly what the one-decode-per-host assertion of
+    the sweep benchmark measures.
+    """
+    view = arena_mod.attach_view(block)
+    return chunk, simulate_many(view, [job[2] for job in chunk]), 0, 0.0
 
 
 def _run_phase_group(
@@ -166,6 +203,13 @@ class ParallelEvaluator:
         :class:`~repro.engine.store.SqliteResultStore`); measurements
         found there skip simulation entirely and newly computed ones are
         appended, which makes campaigns resumable.
+    arena:
+        ``True`` forces the zero-copy shared-memory trace arena, ``False``
+        disables it, ``None`` (default) probes the host.  With the arena
+        on, worker pools receive trace columns and decoded columnar views
+        through :class:`~repro.engine.arena.TraceArena` segments instead
+        of pickles, so a batch decodes once per host; every segment is
+        unlinked deterministically when the evaluator closes.
     """
 
     def __init__(
@@ -175,6 +219,7 @@ class ParallelEvaluator:
         workers: Optional[int] = None,
         store: Optional[ResultStoreBase] = None,
         min_parallel_jobs: int = 2,
+        arena: Optional[bool] = None,
     ):
         self.platform = platform or LiquidPlatform()
         self.workers = max(1, workers if workers is not None else (os.cpu_count() or 1))
@@ -188,14 +233,48 @@ class ParallelEvaluator:
         # introduces a workload (identified by trace fingerprint, not name)
         # the current workers have never seen.
         self._pool: Optional[ProcessPoolExecutor] = None
-        self._pool_traces: Dict[str, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        self._pool_traces: Dict[str, object] = {}
         self._pool_phases: Dict[str, Tuple[Tuple[int, ...], Tuple[int, ...]]] = {}
+        self._arena_enabled = arena_available() if arena is None else bool(arena)
+        self._arena: Optional[TraceArena] = None
+        #: Published decoded views: (fingerprint, kind, linesize) -> ArenaBlock.
+        self._view_blocks: Dict[Tuple[str, str, int], ArenaBlock] = {}
 
-    def close(self) -> None:
-        """Shut down the worker pool (the evaluator stays usable; it restarts lazily)."""
+    def _get_arena(self) -> Optional[TraceArena]:
+        """The live arena, created lazily; ``None`` when unavailable/disabled."""
+        if not self._arena_enabled:
+            return None
+        if self._arena is None:
+            try:
+                self._arena = TraceArena()
+            except OSError:  # pragma: no cover - restricted sandboxes
+                self._arena_enabled = False
+                return None
+        return self._arena
+
+    def _shutdown_pool(self) -> None:
+        """Stop the worker pool only (arena segments stay published)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+
+    def close(self) -> None:
+        """Shut down the worker pool and unlink every arena segment.
+
+        The evaluator stays usable: pools restart lazily and traces/views
+        are republished on the next batch.  After this call no shared
+        memory segment published by this evaluator exists on the host.
+        """
+        self._shutdown_pool()
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
+        self.stats.arena_segments = 0
+        self.stats.arena_bytes = 0
+        self._view_blocks.clear()
+        # registered traces referenced arena segments; force a clean respawn
+        self._pool_traces.clear()
+        self._pool_phases.clear()
 
     def __enter__(self) -> "ParallelEvaluator":
         return self
@@ -218,8 +297,18 @@ class ParallelEvaluator:
         new_workloads = [key for key in traces if key not in self._pool_traces]
         new_phases = [key for key in phases if key not in self._pool_phases]
         if self._pool is None or new_workloads or new_phases:
-            self.close()
-            self._pool_traces.update(traces)
+            self._shutdown_pool()
+            for key, entry in traces.items():
+                if key in self._pool_traces:
+                    continue
+                arena = self._get_arena()
+                if arena is not None:
+                    # workers then attach the columns zero-copy instead of
+                    # unpickling their own copies
+                    pcs, data_addresses, data_is_write = entry
+                    entry = arena.publish_trace(pcs, data_addresses, data_is_write)
+                self._pool_traces[key] = entry
+            self._sync_arena_stats()
             self._pool_phases.update(phases)
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers,
@@ -227,6 +316,11 @@ class ParallelEvaluator:
                 initargs=(self._pool_traces, self._pool_phases),
             )
         return self._pool
+
+    def _sync_arena_stats(self) -> None:
+        if self._arena is not None:
+            self.stats.arena_segments = self._arena.segment_count
+            self.stats.arena_bytes = self._arena.published_bytes
 
     # -- delegated single-shot API ---------------------------------------------------------
 
@@ -282,26 +376,7 @@ class ParallelEvaluator:
         jobs: List[CacheJob] = []
         seen_jobs = set()
         for workload, configs in batches.items():
-            self.stats.requested += len(configs)
-            unique: List[Configuration] = []
-            unique_keys = set()
-            for config in configs:
-                key = config.key()
-                if key in unique_keys:
-                    self.stats.dedup_hits += 1
-                    continue
-                unique_keys.add(key)
-                unique.append(config)
-
-            ready: Dict[Tuple, Measurement] = {}
-            missing: List[Configuration] = []
-            for config in unique:
-                stored = self._from_store(workload, config)
-                if stored is not None:
-                    ready[config.key()] = stored
-                    self.stats.store_hits += 1
-                else:
-                    missing.append(config)
+            missing, ready = self._plan_workload_batch(workload, configs)
             plan.append((workload, missing, ready))
 
             for job in self.platform.cache_requests(workload, missing):
@@ -326,6 +401,76 @@ class ParallelEvaluator:
 
         self.stats.wall_seconds += time.perf_counter() - start
         return results
+
+    def _plan_workload_batch(
+        self, workload: Workload, configs: Sequence[Configuration]
+    ) -> Tuple[List[Configuration], Dict[Tuple, Measurement]]:
+        """Collapse duplicates and consult the store for one workload's batch.
+
+        Returns the configurations still needing simulation (first-appearance
+        order) and the measurements already answered, keyed by config key.
+        Shared by :meth:`measure_many_multi` and :meth:`measure_sweep` so
+        the dedup/store accounting can never drift between the paths.
+        """
+        self.stats.requested += len(configs)
+        unique_keys = set()
+        ready: Dict[Tuple, Measurement] = {}
+        missing: List[Configuration] = []
+        for config in configs:
+            key = config.key()
+            if key in unique_keys:
+                self.stats.dedup_hits += 1
+                continue
+            unique_keys.add(key)
+            stored = self._from_store(workload, config)
+            if stored is not None:
+                ready[key] = stored
+                self.stats.store_hits += 1
+            else:
+                missing.append(config)
+        return missing, ready
+
+    def measure_sweep(
+        self, workload: Workload, configs: Sequence[Configuration]
+    ) -> List[Measurement]:
+        """Measure a configuration grid through the broadcast-batched path.
+
+        Planning matches :meth:`measure_many` exactly -- duplicates are
+        collapsed, the persistent store is consulted, and the distinct
+        missing cache simulations fan out over the worker pool (with the
+        shared-memory arena supplying host-decoded views when enabled).
+        The difference is the assembly stage: instead of a per-config
+        Python loop, the remaining configurations are evaluated in one
+        :meth:`LiquidPlatform.measure_sweep
+        <repro.platform.liquid.LiquidPlatform.measure_sweep>` broadcast,
+        bit-identical to the scalar path.
+        """
+        start = time.perf_counter()
+        self.stats.batches += 1
+
+        trace_start = time.perf_counter()
+        workload.trace()
+        self.stats.add_stage("trace_generation", time.perf_counter() - trace_start)
+
+        missing, ready = self._plan_workload_batch(workload, configs)
+
+        cache_start = time.perf_counter()
+        self._execute_cache_jobs(
+            {workload: missing}, self.platform.cache_requests(workload, missing))
+        self.stats.add_stage("cache_simulation", time.perf_counter() - cache_start)
+
+        sweep_start = time.perf_counter()
+        for config, measurement in zip(
+                missing, self.platform.measure_sweep(workload, missing)):
+            ready[config.key()] = measurement
+            if self.store is not None and self.store.put(workload, measurement):
+                self.stats.store_writes += 1
+        self.stats.sweep_batches += 1
+        self.stats.sweep_evaluations += len(missing)
+        self.stats.add_stage("sweep_evaluate", time.perf_counter() - sweep_start)
+
+        self.stats.wall_seconds += time.perf_counter() - start
+        return [ready[config.key()] for config in configs]
 
     # -- phased batches --------------------------------------------------------------------
 
@@ -380,7 +525,7 @@ class ParallelEvaluator:
         self._pool_phases[key] = (
             tuple(workload.phase_bounds()), tuple(workload.data_bounds()))
         if self._pool is not None:
-            self.close()
+            self._shutdown_pool()
 
     def _decode_phase_views(self, workload: PhasedWorkload, jobs: Sequence[PhaseJob]
                             ) -> None:
@@ -434,7 +579,7 @@ class ParallelEvaluator:
                     self.stats.add_stage("phase_decode", decode_seconds)
         except (OSError, BrokenProcessPool):
             # pragma: no cover - restricted sandboxes or killed workers
-            self.close()
+            self._shutdown_pool()
             self._decode_phase_views(workload, jobs)
             for job in jobs:
                 if job not in completed:
@@ -482,6 +627,60 @@ class ParallelEvaluator:
                 tuple(group[i:i + size]) for i in range(0, len(group), size))
         return chunks
 
+    def _group_key(self, group: Sequence[CacheJob]) -> Tuple[str, str, int]:
+        workload_key, kind, cache_cfg = group[0]
+        return (workload_key, kind, cache_cfg.linesize_bytes)
+
+    def _count_host_decodes(
+        self,
+        workloads_by_key: Mapping[str, Workload],
+        groups: Sequence[Sequence[CacheJob]],
+    ) -> None:
+        """Account the fresh in-parent decodes the coming groups will pay."""
+        for group in groups:
+            workload_key, kind, linesize = self._group_key(group)
+            trace = workloads_by_key[workload_key].trace()
+            if not trace.has_columnar_view(kind, linesize):
+                self.stats.host_decodes += 1
+
+    def _publish_group_views(
+        self,
+        workloads_by_key: Mapping[str, Workload],
+        groups: Sequence[Sequence[CacheJob]],
+    ) -> Optional[Dict[Tuple[str, str, int], ArenaBlock]]:
+        """Decode every group once in the parent and publish to the arena.
+
+        Returns the per-group view blocks, or ``None`` when the arena is
+        unavailable (callers then fall back to worker-side decodes).  The
+        decode is paid at most once per host: the columnar view is cached
+        on the trace and the published block is memoised per group key.
+        """
+        arena = self._get_arena()
+        if arena is None:
+            return None
+        decode_start = time.perf_counter()
+        blocks: Dict[Tuple[str, str, int], ArenaBlock] = {}
+        try:
+            for group in groups:
+                key = self._group_key(group)
+                block = self._view_blocks.get(key)
+                if block is None:
+                    workload_key, kind, linesize = key
+                    trace = workloads_by_key[workload_key].trace()
+                    if not trace.has_columnar_view(kind, linesize):
+                        self.stats.host_decodes += 1
+                    view = trace.columnar_view(kind, linesize)
+                    block = arena.publish_view(view)
+                    self._view_blocks[key] = block
+                blocks[key] = block
+        except OSError:  # pragma: no cover - /dev/shm exhausted or revoked
+            self._arena_enabled = False
+            return None
+        finally:
+            self._sync_arena_stats()
+            self.stats.add_stage("arena_publish", time.perf_counter() - decode_start)
+        return blocks
+
     def _execute_cache_jobs(
         self, batches: Mapping[Workload, Sequence[Configuration]], jobs: List[CacheJob]
     ) -> None:
@@ -493,6 +692,7 @@ class ParallelEvaluator:
         groups = self._plan_groups(jobs)
         self.stats.cache_groups += len(groups)
         if self.workers <= 1 or len(jobs) < self.min_parallel_jobs:
+            self._count_host_decodes(workloads_by_key, groups)
             for group in groups:
                 workload = workloads_by_key[group[0][0]]
                 for job, statistics in self.platform.simulate_cache_jobs(
@@ -505,19 +705,32 @@ class ParallelEvaluator:
         for key in sorted(needed):
             trace = workloads_by_key[key].trace()
             traces[key] = (trace.pcs, trace.data_addresses, trace.data_is_write)
+        view_blocks = self._publish_group_views(workloads_by_key, groups)
 
         completed: Dict[CacheJob, CacheStatistics] = {}
         try:
             pool = self._ensure_pool(traces)
-            futures = [pool.submit(_run_cache_group, chunk)
-                       for chunk in self._chunk_groups(groups)]
+            futures = []
+            for group in groups:
+                block = None if view_blocks is None else view_blocks[self._group_key(group)]
+                for chunk in self._chunk_groups([list(group)]):
+                    if block is not None:
+                        futures.append(
+                            pool.submit(_run_cache_group_arena, chunk, block))
+                    else:
+                        futures.append(pool.submit(_run_cache_group, chunk))
             for future in as_completed(futures):
-                chunk, statistics = future.result()
+                chunk, statistics, decodes, decode_seconds = future.result()
                 completed.update(zip(chunk, statistics))
+                if decodes:
+                    # worker-side decode accounting: fresh decodes per worker
+                    # per group (cumulative wall-clock across workers)
+                    self.stats.worker_decodes += decodes
+                    self.stats.add_stage("worker_decode", decode_seconds)
             self.stats.parallel_simulations += len(jobs)
         except (OSError, BrokenProcessPool):
             # pragma: no cover - restricted sandboxes or killed workers
-            self.close()
+            self._shutdown_pool()
             for job in jobs:
                 if job not in completed:
                     completed[job] = self.platform.simulate_cache_job(

@@ -33,7 +33,8 @@ a CPI in the 1.3-2.5 range LEON2 exhibits on memory-bound codes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from functools import cached_property
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -44,7 +45,13 @@ from repro.microarch.cache import CacheStatistics
 from repro.microarch.statistics import ExecutionStatistics
 from repro.microarch.trace import ExecutionTrace
 
-__all__ = ["TimingParameters", "TimingModel", "count_window_traps"]
+__all__ = [
+    "TimingParameters",
+    "TimingModel",
+    "count_window_traps",
+    "count_window_traps_reference",
+    "evaluate_many",
+]
 
 
 @dataclass(frozen=True)
@@ -86,24 +93,36 @@ class TimingParameters:
         (Divider.NONE, 129),          # software emulation
     )
 
+    # The lookup dicts are built once per TimingParameters instance (the
+    # latency tables are frozen tuples); cached_property writes straight to
+    # __dict__, which a frozen dataclass permits.
+    @cached_property
+    def _multiplier_latencies(self) -> Dict[str, int]:
+        return dict(self.multiplier_extra)
+
+    @cached_property
+    def _divider_latencies(self) -> Dict[str, int]:
+        return dict(self.divider_extra)
+
     def multiplier_latency(self, multiplier: str) -> int:
-        return dict(self.multiplier_extra)[multiplier]
+        return self._multiplier_latencies[multiplier]
 
     def divider_latency(self, divider: str) -> int:
-        return dict(self.divider_extra)[divider]
+        return self._divider_latencies[divider]
 
     def line_fill_penalty(self, linesize_words: int) -> int:
         """Cache miss penalty for a line of the given size."""
         return self.memory_latency + self.word_transfer * linesize_words
 
 
-def count_window_traps(window_events: np.ndarray, windows: int) -> Tuple[int, int]:
-    """Count register-window overflow and underflow traps.
+def count_window_traps_reference(
+    window_events: np.ndarray, windows: int
+) -> Tuple[int, int]:
+    """Scalar per-event reference of :func:`count_window_traps`.
 
-    ``window_events`` is the +1/-1 SAVE/RESTORE sequence recorded by the
-    functional simulator; ``windows`` is the configured window count.  One
-    window is reserved (the SPARC WIM convention), so ``windows - 1``
-    nested activations fit before the first spill.
+    Kept as the oracle of the vectorized walk (the property suite replays
+    random SAVE/RESTORE streams through both) and as the faithful
+    per-configuration baseline of the sweep benchmarks.
     """
     usable = max(1, windows - 1)
     overflows = 0
@@ -124,6 +143,54 @@ def count_window_traps(window_events: np.ndarray, windows: int) -> Tuple[int, in
     return overflows, underflows
 
 
+def count_window_traps(window_events: np.ndarray, windows: int) -> Tuple[int, int]:
+    """Count register-window overflow and underflow traps.
+
+    ``window_events`` is the +1/-1 SAVE/RESTORE sequence recorded by the
+    functional simulator; ``windows`` is the configured window count.  One
+    window is reserved (the SPARC WIM convention), so ``windows - 1``
+    nested activations fit before the first spill.
+
+    The count is a saturating walk of the resident-window gap
+    ``g = depth - resident_base`` over ``[0, usable - 1]``: a SAVE that
+    would push ``g`` past the top spills (overflow), a RESTORE that would
+    pull it below zero fills (underflow).  Two NumPy fast paths cover the
+    common cases -- the walk never leaving the band (no traps at all) and
+    a single usable window (every event traps) -- and the general case
+    walks *runs* of consecutive same-direction events with closed-form
+    per-run trap counts, so the Python-level loop runs once per direction
+    change instead of once per event.
+    """
+    usable = max(1, windows - 1)
+    events = np.asarray(window_events, dtype=np.int64)
+    if events.size == 0:
+        return 0, 0
+    top = usable - 1  # largest gap that fits without spilling
+    depth = np.cumsum(events)
+    if int(depth.min()) >= 0 and int(depth.max()) <= top:
+        return 0, 0  # the clamp never binds: the unclamped walk stays in band
+    if top == 0:
+        saves = int(np.count_nonzero(events > 0))
+        return saves, int(events.size) - saves
+    saves_mask = events > 0
+    boundaries = np.flatnonzero(saves_mask[1:] != saves_mask[:-1]) + 1
+    run_starts = np.concatenate((np.zeros(1, dtype=np.int64), boundaries))
+    run_lengths = np.diff(np.append(run_starts, events.size))
+    run_is_save = saves_mask[run_starts]
+    overflows = 0
+    underflows = 0
+    gap = 0
+    for is_save, length in zip(run_is_save, run_lengths):
+        length = int(length)
+        if is_save:
+            overflows += max(0, gap + length - top)
+            gap = min(gap + length, top)
+        else:
+            underflows += max(0, length - gap)
+            gap = max(gap - length, 0)
+    return overflows, underflows
+
+
 class TimingModel:
     """Computes the cycle count of a trace on one configuration."""
 
@@ -137,14 +204,20 @@ class TimingModel:
         icache_stats: CacheStatistics,
         dcache_stats: CacheStatistics,
     ) -> ExecutionStatistics:
-        """Combine the trace and cache statistics into a cycle count."""
+        """Combine the trace and cache statistics into a cycle count.
+
+        The configuration-independent trace reductions come from the
+        memoised :meth:`ExecutionTrace.features
+        <repro.microarch.trace.ExecutionTrace.features>` vector and the
+        per-window-count trap memo, so a sweep pays for them once; the
+        result is bit-identical to :meth:`evaluate_reference`.
+        """
         cfg = self.config
         p = self.parameters
-        counts = trace.class_counts()
-        n_instr = trace.instruction_count
+        f = trace.features()
 
         breakdown: Dict[str, int] = {}
-        breakdown["base"] = n_instr  # one cycle per issued instruction
+        breakdown["base"] = f.instruction_count  # one cycle per issued instruction
 
         # instruction fetch misses
         icache_penalty = p.line_fill_penalty(cfg.icache_linesize_words)
@@ -155,46 +228,96 @@ class TimingModel:
         breakdown["dcache_misses"] = dcache_stats.read_misses * dcache_penalty
 
         # load/store structural costs
-        loads = counts[OpClass.LOAD]
-        stores = counts[OpClass.STORE]
+        loads = f.count(OpClass.LOAD)
+        stores = f.count(OpClass.STORE)
         breakdown["load_access"] = 0 if cfg.dcache_fast_read else loads * p.slow_read_extra
         breakdown["store_access"] = 0 if cfg.dcache_fast_write else stores * p.slow_write_extra
 
         # load-use interlock
-        load_use = int(np.count_nonzero(trace.load_use_hazard))
-        breakdown["load_use_stalls"] = load_use * (cfg.load_delay - 1)
+        breakdown["load_use_stalls"] = f.load_use_hazards * (cfg.load_delay - 1)
 
         # multiply / divide latency
-        breakdown["multiply"] = counts[OpClass.MUL] * p.multiplier_latency(cfg.multiplier)
-        breakdown["divide"] = counts[OpClass.DIV] * p.divider_latency(cfg.divider)
+        breakdown["multiply"] = f.count(OpClass.MUL) * p.multiplier_latency(cfg.multiplier)
+        breakdown["divide"] = f.count(OpClass.DIV) * p.divider_latency(cfg.divider)
 
         # control transfer penalties
-        taken = (
-            counts[OpClass.BRANCH_TAKEN]
-            + counts[OpClass.CALL]
-            + counts[OpClass.JUMP]
-        )
         penalty = p.taken_penalty_fast if cfg.fast_jump else p.taken_penalty_slow
-        breakdown["control_transfer"] = taken * penalty
+        breakdown["control_transfer"] = _taken_transfers(f) * penalty
 
         # condition-code hazards
-        cc_hazards = int(np.count_nonzero(trace.cc_branch_hazard))
-        breakdown["icc_stalls"] = 0 if cfg.icc_hold else cc_hazards * p.icc_stall
+        breakdown["icc_stalls"] = 0 if cfg.icc_hold else f.cc_branch_hazards * p.icc_stall
 
         # decode bubbles
-        complex_instrs = (
-            counts[OpClass.SETHI]
-            + counts[OpClass.SAVE]
-            + counts[OpClass.RESTORE]
-            + counts[OpClass.CALL]
-            + counts[OpClass.JUMP]
-            + counts[OpClass.BRANCH_TAKEN]
-            + counts[OpClass.BRANCH_UNTAKEN]
-        )
-        breakdown["decode"] = 0 if cfg.fast_decode else complex_instrs * p.slow_decode_extra
+        breakdown["decode"] = (
+            0 if cfg.fast_decode else _complex_instructions(f) * p.slow_decode_extra)
 
-        # register window traps
-        overflows, underflows = count_window_traps(trace.window_events, cfg.register_windows)
+        # register window traps (memoised per window count on the trace)
+        overflows, underflows = trace.window_trap_counts(cfg.register_windows)
+        breakdown["window_traps"] = (
+            overflows * p.window_overflow_cost + underflows * p.window_underflow_cost)
+
+        cycles = int(sum(breakdown.values()))
+        return ExecutionStatistics(
+            workload=trace.name,
+            configuration=cfg,
+            instruction_count=f.instruction_count,
+            cycles=cycles,
+            cycle_breakdown=breakdown,
+            icache=icache_stats,
+            dcache=dcache_stats,
+            window_overflows=overflows,
+            window_underflows=underflows,
+        )
+
+    def evaluate_reference(
+        self,
+        trace: ExecutionTrace,
+        icache_stats: CacheStatistics,
+        dcache_stats: CacheStatistics,
+    ) -> ExecutionStatistics:
+        """Unmemoised per-configuration evaluation (the pre-sweep behaviour).
+
+        Recomputes every trace reduction from the raw arrays on each call
+        -- histogram, hazard counts and the scalar window-trap walk --
+        exactly like the original per-configuration path did.  This is
+        the oracle of the batched-path property tests and the honest
+        baseline of the sweep-throughput benchmark.
+        """
+        cfg = self.config
+        p = self.parameters
+        counts = np.bincount(trace.op_classes, minlength=len(OpClass))
+        n_instr = trace.instruction_count
+
+        breakdown: Dict[str, int] = {}
+        breakdown["base"] = n_instr
+        breakdown["icache_misses"] = (
+            icache_stats.read_misses * p.line_fill_penalty(cfg.icache_linesize_words))
+        breakdown["dcache_misses"] = (
+            dcache_stats.read_misses * p.line_fill_penalty(cfg.dcache_linesize_words))
+        loads = int(counts[OpClass.LOAD.value])
+        stores = int(counts[OpClass.STORE.value])
+        breakdown["load_access"] = 0 if cfg.dcache_fast_read else loads * p.slow_read_extra
+        breakdown["store_access"] = 0 if cfg.dcache_fast_write else stores * p.slow_write_extra
+        load_use = int(np.count_nonzero(trace.load_use_hazard))
+        breakdown["load_use_stalls"] = load_use * (cfg.load_delay - 1)
+        breakdown["multiply"] = (
+            int(counts[OpClass.MUL.value]) * dict(p.multiplier_extra)[cfg.multiplier])
+        breakdown["divide"] = (
+            int(counts[OpClass.DIV.value]) * dict(p.divider_extra)[cfg.divider])
+        taken = int(counts[OpClass.BRANCH_TAKEN.value]
+                    + counts[OpClass.CALL.value] + counts[OpClass.JUMP.value])
+        penalty = p.taken_penalty_fast if cfg.fast_jump else p.taken_penalty_slow
+        breakdown["control_transfer"] = taken * penalty
+        cc_hazards = int(np.count_nonzero(trace.cc_branch_hazard))
+        breakdown["icc_stalls"] = 0 if cfg.icc_hold else cc_hazards * p.icc_stall
+        complex_instrs = int(
+            counts[OpClass.SETHI.value] + counts[OpClass.SAVE.value]
+            + counts[OpClass.RESTORE.value] + counts[OpClass.CALL.value]
+            + counts[OpClass.JUMP.value] + counts[OpClass.BRANCH_TAKEN.value]
+            + counts[OpClass.BRANCH_UNTAKEN.value])
+        breakdown["decode"] = 0 if cfg.fast_decode else complex_instrs * p.slow_decode_extra
+        overflows, underflows = count_window_traps_reference(
+            trace.window_events, cfg.register_windows)
         breakdown["window_traps"] = (
             overflows * p.window_overflow_cost + underflows * p.window_underflow_cost)
 
@@ -210,3 +333,117 @@ class TimingModel:
             window_overflows=overflows,
             window_underflows=underflows,
         )
+
+
+def _taken_transfers(f) -> int:
+    """Taken control transfers: taken branches, calls and jumps."""
+    return f.count(OpClass.BRANCH_TAKEN) + f.count(OpClass.CALL) + f.count(OpClass.JUMP)
+
+
+def _complex_instructions(f) -> int:
+    """Instructions paying the slow-decode bubble when fast decode is off."""
+    return (
+        f.count(OpClass.SETHI) + f.count(OpClass.SAVE) + f.count(OpClass.RESTORE)
+        + f.count(OpClass.CALL) + f.count(OpClass.JUMP)
+        + f.count(OpClass.BRANCH_TAKEN) + f.count(OpClass.BRANCH_UNTAKEN))
+
+
+#: Cycle-breakdown category order of :meth:`TimingModel.evaluate`, shared by
+#: :func:`evaluate_many` so batched breakdown dicts iterate identically.
+BREAKDOWN_CATEGORIES: Tuple[str, ...] = (
+    "base", "icache_misses", "dcache_misses", "load_access", "store_access",
+    "load_use_stalls", "multiply", "divide", "control_transfer", "icc_stalls",
+    "decode", "window_traps")
+
+
+def evaluate_many(
+    trace: ExecutionTrace,
+    configs: Sequence[Configuration],
+    cache_stats: Sequence[Tuple[CacheStatistics, CacheStatistics]],
+    parameters: Optional[TimingParameters] = None,
+) -> List[ExecutionStatistics]:
+    """Broadcast-batched timing evaluation of one trace over a config grid.
+
+    ``cache_stats`` holds the ``(icache, dcache)`` statistics aligned with
+    ``configs``.  The trace is summarised once into its feature vector;
+    the configuration grid is compiled into NumPy coefficient columns and
+    every cycle-breakdown term is produced for the whole grid as one
+    array operation.  Results are bit-identical -- cycles, the full
+    ``cycle_breakdown``, and the window-trap counts -- to calling
+    :meth:`TimingModel.evaluate` once per configuration.
+    """
+    p = parameters or TimingParameters()
+    n = len(configs)
+    if n == 0:
+        return []
+    if len(cache_stats) != n:
+        raise ValueError("cache_stats must align with configs")
+    f = trace.features()
+
+    def column(getter) -> np.ndarray:
+        return np.fromiter((getter(c) for c in configs), dtype=np.int64, count=n)
+
+    icache_read_misses = np.fromiter(
+        (s[0].read_misses for s in cache_stats), dtype=np.int64, count=n)
+    dcache_read_misses = np.fromiter(
+        (s[1].read_misses for s in cache_stats), dtype=np.int64, count=n)
+
+    terms: Dict[str, np.ndarray] = {}
+    terms["base"] = np.full(n, f.instruction_count, dtype=np.int64)
+    # line_fill_penalty is pure arithmetic, so it broadcasts over the columns
+    terms["icache_misses"] = icache_read_misses * p.line_fill_penalty(
+        column(lambda c: c.icache_linesize_words))
+    terms["dcache_misses"] = dcache_read_misses * p.line_fill_penalty(
+        column(lambda c: c.dcache_linesize_words))
+    terms["load_access"] = np.where(
+        column(lambda c: c.dcache_fast_read).astype(bool),
+        0, f.count(OpClass.LOAD) * p.slow_read_extra)
+    terms["store_access"] = np.where(
+        column(lambda c: c.dcache_fast_write).astype(bool),
+        0, f.count(OpClass.STORE) * p.slow_write_extra)
+    terms["load_use_stalls"] = f.load_use_hazards * (column(lambda c: c.load_delay) - 1)
+    terms["multiply"] = f.count(OpClass.MUL) * column(
+        lambda c: p.multiplier_latency(c.multiplier))
+    terms["divide"] = f.count(OpClass.DIV) * column(
+        lambda c: p.divider_latency(c.divider))
+    terms["control_transfer"] = _taken_transfers(f) * np.where(
+        column(lambda c: c.fast_jump).astype(bool),
+        p.taken_penalty_fast, p.taken_penalty_slow)
+    terms["icc_stalls"] = np.where(
+        column(lambda c: c.icc_hold).astype(bool),
+        0, f.cc_branch_hazards * p.icc_stall)
+    terms["decode"] = np.where(
+        column(lambda c: c.fast_decode).astype(bool),
+        0, _complex_instructions(f) * p.slow_decode_extra)
+
+    # window traps: one memoised walk per distinct window count in the grid
+    windows_col = column(lambda c: c.register_windows)
+    overflows = np.empty(n, dtype=np.int64)
+    underflows = np.empty(n, dtype=np.int64)
+    for windows in np.unique(windows_col):
+        over, under = trace.window_trap_counts(int(windows))
+        mask = windows_col == windows
+        overflows[mask] = over
+        underflows[mask] = under
+    terms["window_traps"] = (
+        overflows * p.window_overflow_cost + underflows * p.window_underflow_cost)
+
+    cycles = np.zeros(n, dtype=np.int64)
+    for name in BREAKDOWN_CATEGORIES:
+        cycles += terms[name]
+
+    results: List[ExecutionStatistics] = []
+    for i, config in enumerate(configs):
+        breakdown = {name: int(terms[name][i]) for name in BREAKDOWN_CATEGORIES}
+        results.append(ExecutionStatistics(
+            workload=trace.name,
+            configuration=config,
+            instruction_count=f.instruction_count,
+            cycles=int(cycles[i]),
+            cycle_breakdown=breakdown,
+            icache=cache_stats[i][0],
+            dcache=cache_stats[i][1],
+            window_overflows=int(overflows[i]),
+            window_underflows=int(underflows[i]),
+        ))
+    return results

@@ -22,7 +22,38 @@ import numpy as np
 
 from repro.isa.instructions import OpClass
 
-__all__ = ["ExecutionTrace", "TraceBuilder", "concatenate_traces", "slice_trace"]
+__all__ = [
+    "ExecutionTrace",
+    "TraceBuilder",
+    "TraceFeatures",
+    "concatenate_traces",
+    "slice_trace",
+]
+
+
+@dataclass(frozen=True)
+class TraceFeatures:
+    """Configuration-independent summary of a trace (one feature vector).
+
+    These are exactly the reductions the timing model consumes: the
+    per-class instruction histogram and the hazard counts.  They depend
+    only on the trace, never on a configuration, so a sweep computes
+    them once and broadcasts them over the whole configuration grid
+    (:func:`~repro.microarch.timing.evaluate_many`).
+    """
+
+    #: Number of dynamically executed instructions.
+    instruction_count: int
+    #: Instruction histogram indexed by :class:`~repro.isa.instructions.OpClass` value.
+    class_counts: np.ndarray
+    #: Loads whose immediately following instruction reads the loaded register.
+    load_use_hazards: int
+    #: Branches immediately preceded by a condition-code update.
+    cc_branch_hazards: int
+
+    def count(self, op_class: OpClass) -> int:
+        """Executed instructions of one timing class."""
+        return int(self.class_counts[op_class.value])
 
 
 @dataclass(frozen=True)
@@ -46,6 +77,9 @@ class ExecutionTrace:
     #: Cached columnar cache-kernel views, keyed by ``(kind, linesize_bytes)``.
     _views: Dict[Tuple[str, int], object] = field(
         default_factory=dict, repr=False, compare=False)
+    #: Cached derived quantities (feature vector, per-window trap counts).
+    _derived: Dict[object, object] = field(
+        default_factory=dict, repr=False, compare=False)
 
     # -- derived quantities ------------------------------------------------------------
 
@@ -59,8 +93,47 @@ class ExecutionTrace:
 
     def class_counts(self) -> Dict[OpClass, int]:
         """Histogram of executed instructions per timing class."""
-        counts = np.bincount(self.op_classes, minlength=len(OpClass))
+        counts = self.features().class_counts
         return {op_class: int(counts[op_class.value]) for op_class in OpClass}
+
+    def features(self) -> TraceFeatures:
+        """Memoised configuration-independent feature vector of this trace.
+
+        The histogram and hazard reductions are a property of the trace
+        alone; caching them here means a configuration sweep pays for
+        them once instead of once per evaluated configuration.
+        """
+        features = self._derived.get("features")
+        if features is None:
+            features = TraceFeatures(
+                instruction_count=self.instruction_count,
+                class_counts=np.bincount(
+                    self.op_classes, minlength=len(OpClass)).astype(np.int64),
+                load_use_hazards=int(np.count_nonzero(self.load_use_hazard)),
+                cc_branch_hazards=int(np.count_nonzero(self.cc_branch_hazard)),
+            )
+            self._derived["features"] = features
+        return features
+
+    def window_trap_counts(self, windows: int) -> Tuple[int, int]:
+        """Memoised ``(overflows, underflows)`` for one window count.
+
+        The SAVE/RESTORE event stream is configuration independent, so
+        the trap walk depends only on ``windows``; the cache makes every
+        configuration sharing a window count reuse one count.
+        """
+        key = ("window_traps", int(windows))
+        counts = self._derived.get(key)
+        if counts is None:
+            from repro.microarch.timing import count_window_traps
+
+            counts = count_window_traps(self.window_events, windows)
+            self._derived[key] = counts
+        return counts
+
+    def has_columnar_view(self, kind: str, linesize_bytes: int) -> bool:
+        """True when :meth:`columnar_view` would be answered from the cache."""
+        return (kind, linesize_bytes) in self._views
 
     def count(self, op_class: OpClass) -> int:
         """Number of executed instructions of one timing class."""

@@ -32,7 +32,7 @@ from repro.fpga.synthesis import SynthesisModel
 from repro.microarch.cache import Cache, CacheConfig, CacheStatistics
 from repro.microarch.cachekernel import PhaseReplay, replay_phases, simulate_many
 from repro.microarch.statistics import ExecutionStatistics
-from repro.microarch.timing import TimingModel, TimingParameters
+from repro.microarch.timing import TimingModel, TimingParameters, evaluate_many
 from repro.platform.measurement import Measurement, PhasedMeasurement
 from repro.workloads.base import Workload
 from repro.workloads.phased import PhasedWorkload
@@ -317,6 +317,64 @@ class LiquidPlatform:
             if key not in unique:
                 unique[key] = self.measure(workload, config)
         return [unique[config.key()] for config in configs]
+
+    def measure_sweep(
+        self,
+        workload: Workload,
+        configs: Sequence[Configuration],
+        *,
+        batched: bool = True,
+    ) -> List[Measurement]:
+        """Measure a configuration grid through the broadcast-batched path.
+
+        The sweep fast path factors the work the per-configuration loop
+        repeats: cache statistics come from the shared-decode
+        :meth:`simulate_cache_jobs` batch (grouped by geometry), and the
+        timing model evaluates the whole grid at once through
+        :func:`~repro.microarch.timing.evaluate_many` -- the trace is
+        summarised into one feature vector and each cycle term is a
+        single array operation over the grid.  Results are bit-identical
+        to :meth:`measure_many` (which ``batched=False`` falls back to),
+        and all memo stores are shared, so the two paths interleave
+        freely.
+        """
+        if not batched:
+            return self.measure_many(workload, configs)
+        workload_key = workload.fingerprint()
+        unique: List[Configuration] = []
+        seen = set()
+        for config in configs:
+            key = config.key()
+            if key not in seen:
+                seen.add(key)
+                unique.append(config)
+        # builds first (memoised; fit enforcement raises on the first
+        # non-buildable configuration, like the per-config path)
+        reports = {config.key(): self.build(config) for config in unique}
+
+        missing = [c for c in unique if (workload_key, c.key()) not in self._runs]
+        if missing:
+            jobs = self.cache_requests(workload, missing)
+            for job, statistics in self.simulate_cache_jobs(workload, jobs).items():
+                self.install_cache_run(job, statistics)
+            pairs = []
+            for config in missing:
+                ikey, dkey = self._cache_keys(workload_key, config)
+                pairs.append((self._cache_runs[ikey], self._cache_runs[dkey]))
+            evaluated = evaluate_many(
+                workload.trace(), missing, pairs, self.timing_parameters)
+            for config, statistics in zip(missing, evaluated):
+                self._runs[(workload_key, config.key())] = statistics
+                self.run_count += 1
+        return [
+            Measurement(
+                workload=workload.name,
+                configuration=config,
+                resources=reports[config.key()],
+                statistics=self._runs[(workload_key, config.key())],
+            )
+            for config in configs
+        ]
 
     def effort(self) -> Dict[str, int]:
         """Distinct builds and runs performed so far (scalability accounting)."""

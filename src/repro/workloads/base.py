@@ -89,6 +89,18 @@ class Workload(ABC):
         """
         return self.trace().columnar_view(kind, linesize_bytes)
 
+    def features(self):
+        """Memoised configuration-independent feature vector of the trace.
+
+        Delegates to :meth:`ExecutionTrace.features
+        <repro.microarch.trace.ExecutionTrace.features>`; this is the
+        summary the broadcast-batched sweep path
+        (:func:`~repro.microarch.timing.evaluate_many`) multiplies
+        against a compiled configuration grid, so a sweep reduces the
+        trace once, not once per configuration.
+        """
+        return self.trace().features()
+
     def fingerprint(self) -> str:
         """Content digest identifying this workload's execution trace.
 

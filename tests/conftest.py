@@ -67,6 +67,35 @@ def address_strategy(max_address=1 << 14, max_size=400, min_size=1):
     )
 
 
+def configuration_strategy():
+    """Random full-space configurations (perturbations of the base).
+
+    Draws a random subset of parameters and a random value for each, so
+    grids exercise every timing-relevant knob: cache geometries and
+    policies, the pipeline flags, window counts and the multiplier /
+    divider implementations.  Buildability (device fit) is deliberately
+    not enforced -- timing-model properties hold for any configuration.
+    """
+    space = leon_parameter_space()
+    base = base_configuration(space)
+    return st.fixed_dictionaries(
+        {},
+        optional={p.name: st.sampled_from(list(p.values)) for p in space},
+    ).map(lambda changes: base.replace(**changes))
+
+
+def config_grid_strategy(min_size=1, max_size=6):
+    """Configuration grids (duplicates allowed) for sweep property tests."""
+    return st.lists(configuration_strategy(), min_size=min_size, max_size=max_size)
+
+
+def window_events_strategy(max_size=200):
+    """Random SAVE(+1)/RESTORE(-1) streams, unbalanced streams included."""
+    return st.lists(
+        st.sampled_from([1, -1]), min_size=0, max_size=max_size,
+    ).map(lambda events: np.asarray(events, dtype=np.int8))
+
+
 def to_arrays(trace):
     """Split a ``(word_address, is_write)`` trace into byte-address/write arrays."""
     addresses = np.asarray([a for a, _ in trace], dtype=np.int64) * 4  # word aligned

@@ -1,0 +1,176 @@
+"""Shared-memory trace arena: round trips, hygiene, and engine integration.
+
+The arena's contract has three parts: attached blocks are zero-copy and
+bit-exact views of what the parent published; every segment is unlinked
+deterministically when the owner closes (``ParallelEvaluator.__exit__``
+included), so nothing survives in ``/dev/shm``; and with the arena
+enabled a parallel batch decodes each shared-decode group exactly once,
+in the parent (``EngineStats.host_decodes``), with workers attaching the
+published views instead of re-decoding (``worker_decodes == 0``).
+"""
+
+import glob
+import sys
+
+import numpy as np
+import pytest
+
+from repro.config import Replacement
+from repro.engine import ParallelEvaluator, arena_available
+from repro.engine.arena import TraceArena, attach, attach_view
+from repro.microarch.cachekernel import decode_trace, replay
+from repro.microarch.cache import CacheConfig
+from repro.platform import LiquidPlatform
+from repro.workloads import ArithWorkload
+
+pytestmark = pytest.mark.skipif(
+    not arena_available(), reason="shared memory unavailable on this host")
+
+
+#: POSIX shm segments are only observable as files on Linux; elsewhere the
+#: /dev/shm probes assert nothing and liveness comes from the arena itself.
+LINUX = sys.platform.startswith("linux")
+
+
+def shm_segments():
+    return set(glob.glob("/dev/shm/psm_*")) if LINUX else set()
+
+
+def sweep_configs(base):
+    """Enough distinct geometries to trigger the parallel pool path."""
+    return [
+        base,
+        base.replace(dcache_sets=1, dcache_setsize_kb=8),
+        base.replace(dcache_sets=2, dcache_setsize_kb=2,
+                     dcache_replacement=Replacement.LRU),
+        base.replace(dcache_sets=2, dcache_replacement=Replacement.LRR),
+        base.replace(dcache_sets=4, dcache_setsize_kb=1),
+        base.replace(icache_setsize_kb=1),
+    ]
+
+
+class TestArenaBlocks:
+    def test_publish_attach_round_trip(self):
+        arena = TraceArena()
+        try:
+            arrays = {
+                "pcs": np.arange(100, dtype=np.uint32),
+                "data_addresses": np.arange(0, 400, 4, dtype=np.uint32),
+                "data_is_write": np.tile([True, False], 50),
+            }
+            block = arena.publish(arrays, meta={"tag": 7})
+            attached = attach(block)
+            for name, expected in arrays.items():
+                np.testing.assert_array_equal(attached[name], expected)
+                assert attached[name].dtype == expected.dtype
+                assert not attached[name].flags.writeable
+                assert not attached[name].flags.owndata  # zero-copy view
+            assert block.meta_dict() == {"tag": 7}
+        finally:
+            arena.close()
+
+    def test_attachment_is_cached(self):
+        arena = TraceArena()
+        try:
+            block = arena.publish({"xs": np.arange(8, dtype=np.int64)})
+            first = attach(block)
+            assert attach(block) is first
+        finally:
+            arena.close()
+
+    def test_view_round_trip_replays_identically(self):
+        rng = np.random.default_rng(0)
+        addresses = rng.integers(0, 1 << 12, size=500).astype(np.int64) * 4
+        writes = rng.random(500) < 0.3
+        view = decode_trace(addresses, writes, linesize_bytes=16)
+        arena = TraceArena()
+        try:
+            block = arena.publish_view(view)
+            shared = attach_view(block)
+            assert attach_view(block) is shared  # per-process view cache
+            for config in (
+                CacheConfig(ways=1, setsize_kb=1, linesize_words=4),
+                CacheConfig(ways=2, setsize_kb=1, linesize_words=4,
+                            replacement=Replacement.LRU),
+                CacheConfig(ways=4, setsize_kb=1, linesize_words=4),
+            ):
+                assert replay(shared, config) == replay(view, config)
+        finally:
+            arena.close()
+
+    def test_close_unlinks_every_segment(self):
+        from multiprocessing import shared_memory
+
+        arena = TraceArena()
+        blocks = [arena.publish({"xs": np.arange(16, dtype=np.int64)})
+                  for _ in range(3)]
+        assert arena.segment_count == 3
+        names = arena.segment_names
+        arena.close()
+        assert arena.segment_count == 0
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+            if LINUX:
+                assert not glob.glob(f"/dev/shm/{name}")
+        arena.close()  # idempotent
+        assert blocks[0].nbytes > 0
+
+
+class TestEvaluatorIntegration:
+    def test_one_decode_per_host_and_identical_results(self, base_config):
+        configs = sweep_configs(base_config)
+        reference = LiquidPlatform().measure_many(
+            ArithWorkload(iterations=200), configs)
+        before = shm_segments()
+        with ParallelEvaluator(LiquidPlatform(), workers=2, arena=True) as engine:
+            results = engine.measure_sweep(ArithWorkload(iterations=200), configs)
+            assert results == reference
+            stats = engine.stats
+            assert stats.parallel_simulations > 0
+            assert stats.worker_decodes == 0
+            assert stats.host_decodes == stats.cache_groups
+            assert stats.arena_segments > 0
+            assert stats.arena_bytes > 0
+            assert engine._arena.segment_count > 0  # segments live while the pool runs
+            if LINUX:
+                assert shm_segments() - before
+        assert shm_segments() - before == set()
+        assert engine.stats.arena_segments == 0  # close() zeroes the audit fields
+        assert engine.stats.arena_bytes == 0
+
+    def test_exit_unlinks_segments_even_after_multiple_batches(self, base_config):
+        configs = sweep_configs(base_config)
+        before = shm_segments()
+        with ParallelEvaluator(LiquidPlatform(), workers=2, arena=True) as engine:
+            engine.measure_sweep(ArithWorkload(iterations=200), configs)
+            engine.measure_many(ArithWorkload(iterations=150), configs)
+        assert shm_segments() - before == set()
+
+    def test_close_is_restartable(self, base_config):
+        configs = sweep_configs(base_config)
+        workload = ArithWorkload(iterations=200)
+        reference = LiquidPlatform().measure_many(workload, configs)
+        before = shm_segments()
+        engine = ParallelEvaluator(LiquidPlatform(), workers=2, arena=True)
+        try:
+            assert engine.measure_sweep(workload, configs) == reference
+            engine.close()
+            assert shm_segments() - before == set()
+            # the evaluator restarts lazily and republishes what it needs
+            fresh_configs = sweep_configs(base_config.replace(dcache_linesize_words=4))
+            assert engine.measure_sweep(workload, fresh_configs) == \
+                LiquidPlatform().measure_many(workload, fresh_configs)
+        finally:
+            engine.close()
+        assert shm_segments() - before == set()
+
+    def test_arena_off_matches_arena_on(self, base_config):
+        configs = sweep_configs(base_config)
+        with ParallelEvaluator(LiquidPlatform(), workers=2, arena=True) as on:
+            with_arena = on.measure_sweep(ArithWorkload(iterations=200), configs)
+        with ParallelEvaluator(LiquidPlatform(), workers=2, arena=False) as off:
+            without = off.measure_sweep(ArithWorkload(iterations=200), configs)
+            assert off.stats.arena_segments == 0
+            assert off.stats.worker_decodes > 0  # workers decoded for themselves
+        assert with_arena == without
