@@ -27,7 +27,7 @@ class Configuration(Mapping[str, Any]):
     synthesis model.
     """
 
-    __slots__ = ("_space", "_values", "_key")
+    __slots__ = ("_space", "_values", "_key", "_hash")
 
     def __init__(self, space: ParameterSpace, values: Mapping[str, Any]):
         assignment: Dict[str, Any] = {}
@@ -41,6 +41,9 @@ class Configuration(Mapping[str, Any]):
         self._space = space
         self._values = assignment
         self._key: Tuple[Tuple[str, Any], ...] = tuple(sorted(assignment.items()))
+        # configurations are memo keys throughout the platform and engine;
+        # tuple hashing is O(parameters), so cache it once at construction
+        self._hash = hash(self._key)
 
     # -- mapping protocol ---------------------------------------------------------
 
@@ -67,7 +70,7 @@ class Configuration(Mapping[str, Any]):
     # -- identity -----------------------------------------------------------------
 
     def __hash__(self) -> int:
-        return hash(self._key)
+        return self._hash
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Configuration):

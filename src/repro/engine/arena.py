@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import atexit
 import gc
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
@@ -41,11 +42,15 @@ except ImportError:  # pragma: no cover
     _shm = None
 
 __all__ = [
+    "ARENA_THRESHOLD_ENV",
     "ArenaBlock",
+    "DEFAULT_PUBLISH_THRESHOLD",
     "TraceArena",
     "arena_available",
     "attach",
     "attach_view",
+    "publish_threshold",
+    "publish_worthwhile",
 ]
 
 #: Byte alignment of each field within a segment (numpy-friendly).
@@ -72,6 +77,50 @@ class ArenaBlock:
 
     def meta_dict(self) -> Dict[str, int]:
         return dict(self.meta)
+
+
+# -- publish cost model ------------------------------------------------------------------
+
+#: Environment override for the publish threshold (an integer; ``0`` makes
+#: every batch publish).
+ARENA_THRESHOLD_ENV = "REPRO_ARENA_THRESHOLD"
+#: Default publish threshold on ``trace bytes x cache-job count``.
+#:
+#: The calibration: publishing costs one copy of the trace columns plus
+#: the decoded views (tens of milliseconds for multi-megabyte traces) and
+#: the worker fan-out costs pool submission latency, while it saves
+#: per-worker re-decodes whose cost also scales with trace bytes and
+#: amortises over the batch's job count.  On the paper's workloads the
+#: break-even sits around a few hundred megabyte-jobs: the geometry-dense
+#: Figure-2 grid (a ~4.5 MB blastn trace x ~20 jobs ~ 9e7) loses to the
+#: inline replay, while campaign-scale grids (hundreds of geometries)
+#: clear it comfortably.
+DEFAULT_PUBLISH_THRESHOLD = 1 << 28
+
+
+def publish_threshold(override: Optional[int] = None) -> int:
+    """The effective publish threshold (argument > environment > default)."""
+    if override is not None:
+        return int(override)
+    env = os.environ.get(ARENA_THRESHOLD_ENV, "").strip()
+    return int(env) if env else DEFAULT_PUBLISH_THRESHOLD
+
+
+def publish_worthwhile(
+    trace_bytes: int, job_count: int, threshold: Optional[int] = None
+) -> bool:
+    """True when a batch is big enough for shared-memory publishing to pay.
+
+    The model is deliberately simple -- the product of the trace bytes to
+    be shared and the cache jobs that would share them, against a
+    calibrated threshold -- because both the publish cost (copying) and
+    the avoided cost (per-worker decodes) scale with exactly that
+    product.  A non-positive threshold means "always publish".
+    """
+    effective = publish_threshold(threshold)
+    if effective <= 0:
+        return True
+    return trace_bytes * max(job_count, 0) >= effective
 
 
 def arena_available() -> bool:

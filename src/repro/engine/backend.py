@@ -137,6 +137,14 @@ class EngineStats:
     #: and the bytes they hold (0 when the arena is off or closed).
     arena_segments: int = 0
     arena_bytes: int = 0
+    #: Batches whose shared-memory publish (and worker fan-out) the adaptive
+    #: cost model skipped because trace bytes x job count fell below the
+    #: publish threshold -- the audit trail of the arena's cost model.
+    arena_skipped: int = 0
+    #: Resolved cache-kernel replay lane of the most recent batch
+    #: (``crossconfig``/``numpy``/``jit``; see
+    #: :func:`~repro.microarch.cachekernel.kernel_lane`).
+    kernel_lane: str = ""
     #: Batch calls served.
     batches: int = 0
     #: Wall-clock seconds spent inside the batch API.
@@ -169,6 +177,8 @@ class EngineStats:
             "worker_decodes": self.worker_decodes,
             "arena_segments": self.arena_segments,
             "arena_bytes": self.arena_bytes,
+            "arena_skipped": self.arena_skipped,
+            "kernel_lane": self.kernel_lane,
             "batches": self.batches,
             "wall_seconds": round(self.wall_seconds, 3),
         }

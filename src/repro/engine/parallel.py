@@ -50,6 +50,7 @@ from repro.microarch.cachekernel import (
     ColumnarTrace,
     PhaseReplay,
     decode_trace,
+    kernel_lane,
     replay_phases,
     simulate_many,
 )
@@ -204,12 +205,25 @@ class ParallelEvaluator:
         found there skip simulation entirely and newly computed ones are
         appended, which makes campaigns resumable.
     arena:
-        ``True`` forces the zero-copy shared-memory trace arena, ``False``
-        disables it, ``None`` (default) probes the host.  With the arena
-        on, worker pools receive trace columns and decoded columnar views
-        through :class:`~repro.engine.arena.TraceArena` segments instead
-        of pickles, so a batch decodes once per host; every segment is
+        ``True`` forces the zero-copy shared-memory trace arena on for
+        every batch, ``False`` disables it, ``None`` (default) probes the
+        host and then applies the adaptive cost model: a batch publishes
+        (and fans out to the worker pool) only when
+        :func:`~repro.engine.arena.publish_worthwhile` says the shared
+        trace bytes x job count clears the threshold; smaller batches
+        replay inline, which keeps tiny sweeps from paying pool and
+        publish overhead for nothing (``EngineStats.arena_skipped``
+        audits those decisions).  With the arena on, worker pools receive
+        trace columns and decoded columnar views through
+        :class:`~repro.engine.arena.TraceArena` segments instead of
+        pickles, so a batch decodes once per host; every segment is
         unlinked deterministically when the evaluator closes.
+    arena_threshold:
+        Override for the adaptive publish threshold (product of trace
+        bytes and cache-job count); ``0`` publishes always, ``None``
+        (default) uses :data:`~repro.engine.arena.DEFAULT_PUBLISH_THRESHOLD`
+        or the ``REPRO_ARENA_THRESHOLD`` environment variable.  Ignored
+        when ``arena=True`` forces publishing.
     """
 
     def __init__(
@@ -220,6 +234,7 @@ class ParallelEvaluator:
         store: Optional[ResultStoreBase] = None,
         min_parallel_jobs: int = 2,
         arena: Optional[bool] = None,
+        arena_threshold: Optional[int] = None,
     ):
         self.platform = platform or LiquidPlatform()
         self.workers = max(1, workers if workers is not None else (os.cpu_count() or 1))
@@ -236,6 +251,11 @@ class ParallelEvaluator:
         self._pool_traces: Dict[str, object] = {}
         self._pool_phases: Dict[str, Tuple[Tuple[int, ...], Tuple[int, ...]]] = {}
         self._arena_enabled = arena_available() if arena is None else bool(arena)
+        self._arena_forced = arena is True
+        # adaptive mode: only the probed default applies the cost model;
+        # explicit True/False are contracts the caller asked for
+        self._arena_adaptive = arena is None and self._arena_enabled
+        self._arena_threshold = arena_threshold
         self._arena: Optional[TraceArena] = None
         #: Published decoded views: (fingerprint, kind, linesize) -> ArenaBlock.
         self._view_blocks: Dict[Tuple[str, str, int], ArenaBlock] = {}
@@ -322,6 +342,24 @@ class ParallelEvaluator:
             self.stats.arena_segments = self._arena.segment_count
             self.stats.arena_bytes = self._arena.published_bytes
 
+    def _skip_small_batch(self, trace_bytes: int, job_count: int) -> bool:
+        """Adaptive cost model: ``True`` means replay this batch inline.
+
+        Applies only in the probed-default arena mode: publishing the
+        traces *and* fanning the jobs out both cost time that scales with
+        the shared trace bytes, so when ``trace bytes x job count`` falls
+        below the publish threshold the whole batch runs inline instead
+        (``stats.arena_skipped`` audits each skip).  Forced arenas
+        (``arena=True``) and explicit ``arena=False`` pools never skip.
+        """
+        if not self._arena_adaptive or self._arena_forced:
+            return False
+        if arena_mod.publish_worthwhile(
+                trace_bytes, job_count, self._arena_threshold):
+            return False
+        self.stats.arena_skipped += 1
+        return True
+
     # -- delegated single-shot API ---------------------------------------------------------
 
     @property
@@ -372,7 +410,8 @@ class ParallelEvaluator:
             workload.trace()
         self.stats.add_stage("trace_generation", time.perf_counter() - trace_start)
 
-        plan: List[Tuple[Workload, List[Configuration], Dict[Tuple, Measurement]]] = []
+        plan: List[Tuple[Workload, List[Configuration],
+                         Dict[Configuration, Measurement]]] = []
         jobs: List[CacheJob] = []
         seen_jobs = set()
         for workload, configs in batches.items():
@@ -393,10 +432,10 @@ class ParallelEvaluator:
         for workload, missing, ready in plan:
             for config in missing:
                 measurement = self.platform.measure(workload, config)
-                ready[config.key()] = measurement
+                ready[config] = measurement
                 if self.store is not None and self.store.put(workload, measurement):
                     self.stats.store_writes += 1
-            results[workload] = [ready[c.key()] for c in batches[workload]]
+            results[workload] = [ready[c] for c in batches[workload]]
         self.stats.add_stage("model_build", time.perf_counter() - build_start)
 
         self.stats.wall_seconds += time.perf_counter() - start
@@ -404,27 +443,30 @@ class ParallelEvaluator:
 
     def _plan_workload_batch(
         self, workload: Workload, configs: Sequence[Configuration]
-    ) -> Tuple[List[Configuration], Dict[Tuple, Measurement]]:
+    ) -> Tuple[List[Configuration], Dict[Configuration, Measurement]]:
         """Collapse duplicates and consult the store for one workload's batch.
 
         Returns the configurations still needing simulation (first-appearance
-        order) and the measurements already answered, keyed by config key.
-        Shared by :meth:`measure_many_multi` and :meth:`measure_sweep` so
-        the dedup/store accounting can never drift between the paths.
+        order) and the measurements already answered, keyed by the
+        configuration itself (hashing a :class:`Configuration` reuses its
+        cached key hash, where hashing the raw key tuple would rewalk every
+        parameter on each planning pass).  Shared by
+        :meth:`measure_many_multi` and :meth:`measure_sweep` so the
+        dedup/store accounting can never drift between the paths.
         """
         self.stats.requested += len(configs)
-        unique_keys = set()
-        ready: Dict[Tuple, Measurement] = {}
+        seen = set()
+        ready: Dict[Configuration, Measurement] = {}
         missing: List[Configuration] = []
+        consult_store = self.store is not None
         for config in configs:
-            key = config.key()
-            if key in unique_keys:
+            if config in seen:
                 self.stats.dedup_hits += 1
                 continue
-            unique_keys.add(key)
-            stored = self._from_store(workload, config)
+            seen.add(config)
+            stored = self._from_store(workload, config) if consult_store else None
             if stored is not None:
-                ready[key] = stored
+                ready[config] = stored
                 self.stats.store_hits += 1
             else:
                 missing.append(config)
@@ -455,14 +497,17 @@ class ParallelEvaluator:
         missing, ready = self._plan_workload_batch(workload, configs)
 
         cache_start = time.perf_counter()
-        self._execute_cache_jobs(
-            {workload: missing}, self.platform.cache_requests(workload, missing))
+        # one planning pass: the pairs feed the platform sweep below so it
+        # never rewalks the grid's parameter keys after the fan-out
+        key_pairs, jobs = self.platform.cache_plan(workload, missing)
+        self._execute_cache_jobs({workload: missing}, jobs)
         self.stats.add_stage("cache_simulation", time.perf_counter() - cache_start)
 
         sweep_start = time.perf_counter()
         for config, measurement in zip(
-                missing, self.platform.measure_sweep(workload, missing)):
-            ready[config.key()] = measurement
+                missing, self.platform.measure_sweep(
+                    workload, missing, cache_pairs=key_pairs)):
+            ready[config] = measurement
             if self.store is not None and self.store.put(workload, measurement):
                 self.stats.store_writes += 1
         self.stats.sweep_batches += 1
@@ -470,7 +515,7 @@ class ParallelEvaluator:
         self.stats.add_stage("sweep_evaluate", time.perf_counter() - sweep_start)
 
         self.stats.wall_seconds += time.perf_counter() - start
-        return [ready[config.key()] for config in configs]
+        return [ready[config] for config in configs]
 
     # -- phased batches --------------------------------------------------------------------
 
@@ -551,7 +596,9 @@ class ParallelEvaluator:
             return
         self.stats.phase_chains += len(jobs)
         groups = self._plan_groups(jobs)
-        if self.workers <= 1 or len(jobs) < self.min_parallel_jobs:
+        trace = workload.trace()
+        if (self.workers <= 1 or len(jobs) < self.min_parallel_jobs
+                or self._skip_small_batch(trace.transfer_nbytes(), len(jobs))):
             self._decode_phase_views(workload, jobs)
             for group in groups:
                 for job, result in self.platform.simulate_phase_chains(
@@ -559,7 +606,6 @@ class ParallelEvaluator:
                     self.platform.install_phase_run(job, result)
             return
 
-        trace = workload.trace()
         key = workload.fingerprint()
         traces = {key: (trace.pcs, trace.data_addresses, trace.data_is_write)}
         phases = {key: (tuple(workload.phase_bounds()), tuple(workload.data_bounds()))}
@@ -631,6 +677,19 @@ class ParallelEvaluator:
         workload_key, kind, cache_cfg = group[0]
         return (workload_key, kind, cache_cfg.linesize_bytes)
 
+    def _run_cache_groups_inline(
+        self,
+        workloads_by_key: Mapping[str, Workload],
+        groups: Sequence[Sequence[CacheJob]],
+    ) -> None:
+        """Replay the planned groups in-process (no pool, no publish)."""
+        self._count_host_decodes(workloads_by_key, groups)
+        for group in groups:
+            workload = workloads_by_key[group[0][0]]
+            for job, statistics in self.platform.simulate_cache_jobs(
+                    workload, group).items():
+                self.platform.install_cache_run(job, statistics)
+
     def _count_host_decodes(
         self,
         workloads_by_key: Mapping[str, Workload],
@@ -688,19 +747,22 @@ class ParallelEvaluator:
         if not jobs:
             return
         self.stats.cache_simulations += len(jobs)
+        self.stats.kernel_lane = kernel_lane()
         workloads_by_key = {w.fingerprint(): w for w in batches}
         groups = self._plan_groups(jobs)
         self.stats.cache_groups += len(groups)
         if self.workers <= 1 or len(jobs) < self.min_parallel_jobs:
-            self._count_host_decodes(workloads_by_key, groups)
-            for group in groups:
-                workload = workloads_by_key[group[0][0]]
-                for job, statistics in self.platform.simulate_cache_jobs(
-                        workload, group).items():
-                    self.platform.install_cache_run(job, statistics)
+            self._run_cache_groups_inline(workloads_by_key, groups)
             return
 
         needed = {key for key, _, _ in jobs}
+        # decide before materialising anything: the masked data columns cost
+        # real time to build, and a skipped batch never needs them
+        trace_bytes = sum(
+            workloads_by_key[key].trace().transfer_nbytes() for key in needed)
+        if self._skip_small_batch(trace_bytes, len(jobs)):
+            self._run_cache_groups_inline(workloads_by_key, groups)
+            return
         traces = {}
         for key in sorted(needed):
             trace = workloads_by_key[key].trace()

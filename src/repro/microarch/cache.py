@@ -16,6 +16,7 @@ for a line fill.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Optional
 
 import numpy as np
@@ -54,11 +55,13 @@ class CacheConfig:
         if self.lines_per_way < 1:
             raise ConfigurationError("cache way smaller than one line")
 
-    @property
+    # cached: the replay planners read these once per job on hot sweep
+    # paths (equality/hash/pickling stay field-only on a frozen dataclass)
+    @cached_property
     def linesize_bytes(self) -> int:
         return self.linesize_words * 4
 
-    @property
+    @cached_property
     def lines_per_way(self) -> int:
         return (self.setsize_kb * 1024) // self.linesize_bytes
 

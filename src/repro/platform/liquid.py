@@ -37,7 +37,7 @@ from repro.platform.measurement import Measurement, PhasedMeasurement
 from repro.workloads.base import Workload
 from repro.workloads.phased import PhasedWorkload
 
-__all__ = ["LiquidPlatform", "CacheJob", "PhaseJob"]
+__all__ = ["LiquidPlatform", "CacheJob", "PhaseJob", "job_group_key", "plan_job_groups"]
 
 #: One outstanding cache simulation: ``(workload_fingerprint, "icache"|"dcache",
 #: geometry)``.  The engine layer fans these out over worker processes and
@@ -52,6 +52,27 @@ CacheJob = Tuple[str, str, CacheConfig]
 #: fingerprint of a :class:`~repro.workloads.phased.PhasedWorkload` covers its
 #: phase boundaries, so two different cuts of one trace never share a job.
 PhaseJob = Tuple[str, str, CacheConfig]
+
+
+def job_group_key(job: CacheJob) -> Tuple[str, str, int]:
+    """Shared-decode group of one job: ``(workload, kind, linesize)``.
+
+    Jobs with the same key replay one decoded
+    :class:`~repro.microarch.cachekernel.ColumnarTrace`; this is the
+    single definition of "same group" used by the platform's batch
+    simulation, the parallel engine's chunk planner and the arena's
+    published-view keys, so a planning change cannot desynchronise them.
+    """
+    workload_key, kind, cache_cfg = job
+    return (workload_key, kind, cache_cfg.linesize_bytes)
+
+
+def plan_job_groups(jobs: Sequence[CacheJob]) -> Dict[Tuple[str, str, int], List[CacheJob]]:
+    """Group jobs by :func:`job_group_key`, preserving first-need order."""
+    groups: Dict[Tuple[str, str, int], List[CacheJob]] = {}
+    for job in jobs:
+        groups.setdefault(job_group_key(job), []).append(job)
+    return groups
 
 
 class LiquidPlatform:
@@ -72,9 +93,17 @@ class LiquidPlatform:
         # memoisation stores
         self._reports: Dict[Tuple, ResourceReport] = {}
         self._built: set = set()
+        # keyed by (workload fingerprint, configuration): hashing the
+        # Configuration reuses its cached key hash, so the sweep path's
+        # per-grid-point membership probes cost a dict lookup, not a walk
+        # over every parameter
         self._runs: Dict[Tuple, ExecutionStatistics] = {}
         self._cache_runs: Dict[Tuple, CacheStatistics] = {}
         self._phase_runs: Dict[Tuple, PhaseReplay] = {}
+        # (icache, dcache) CacheConfig pair per configuration key: the
+        # sweep planners re-derive job keys for every batch, and building
+        # the geometry dataclasses dominates that planning cost
+        self._cache_cfg_memo: Dict[Configuration, Tuple[CacheConfig, CacheConfig]] = {}
         # effort accounting
         self.build_count = 0
         self.run_count = 0
@@ -113,10 +142,21 @@ class LiquidPlatform:
 
     # -- execution -------------------------------------------------------------------------
 
-    @staticmethod
-    def _cache_keys(workload_key: str, config: Configuration) -> Tuple[Tuple, Tuple]:
-        icache_cfg = CacheConfig.icache_from(config)
-        dcache_cfg = CacheConfig.dcache_from(config)
+    def _cache_configs(self, config: Configuration) -> Tuple[CacheConfig, CacheConfig]:
+        """Memoised (icache, dcache) geometry pair of one configuration.
+
+        Keyed by the configuration itself: its hash is computed once at
+        construction, where hashing the raw key tuple would rewalk every
+        parameter on each of the sweep path's planning passes.
+        """
+        pair = self._cache_cfg_memo.get(config)
+        if pair is None:
+            pair = (CacheConfig.icache_from(config), CacheConfig.dcache_from(config))
+            self._cache_cfg_memo[config] = pair
+        return pair
+
+    def _cache_keys(self, workload_key: str, config: Configuration) -> Tuple[Tuple, Tuple]:
+        icache_cfg, dcache_cfg = self._cache_configs(config)
         return (workload_key, "icache", icache_cfg), (workload_key, "dcache", dcache_cfg)
 
     def cache_requests(
@@ -132,8 +172,12 @@ class LiquidPlatform:
         jobs: List[CacheJob] = []
         seen = set()
         workload_key = workload.fingerprint()
+        # membership probes hash the full parameter key; on a fresh
+        # platform (every sweep benchmark rep, every new campaign) the
+        # memo is empty and the probe is pure overhead per grid point
+        measured = self._runs
         for config in configs:
-            if (workload_key, config.key()) in self._runs:
+            if measured and (workload_key, config) in measured:
                 continue
             for key in self._cache_keys(workload_key, config):
                 if key in self._cache_runs or key in seen:
@@ -142,9 +186,34 @@ class LiquidPlatform:
                 jobs.append(key)
         return jobs
 
+    def cache_plan(
+        self, workload: Workload, configs: Sequence[Configuration]
+    ) -> Tuple[List[Tuple[CacheJob, CacheJob]], List[CacheJob]]:
+        """One planning pass over a sweep batch: key pairs plus pending jobs.
+
+        Returns the per-config ``(icache job, dcache job)`` keys aligned
+        with ``configs`` and the distinct not-yet-simulated jobs in
+        first-need order (exactly :meth:`cache_requests` restricted to a
+        batch with no already-measured configurations).  Callers that
+        both fan the jobs out and assemble the statistics afterwards --
+        the engine sweep path -- reuse the pairs instead of walking every
+        configuration's parameter key a second time.
+        """
+        workload_key = workload.fingerprint()
+        key_pairs = [self._cache_keys(workload_key, c) for c in configs]
+        jobs: List[CacheJob] = []
+        seen = set()
+        for pair in key_pairs:
+            for key in pair:
+                if key in self._cache_runs or key in seen:
+                    continue
+                seen.add(key)
+                jobs.append(key)
+        return key_pairs, jobs
+
     def is_measured(self, workload: Workload, config: Configuration) -> bool:
         """True when :meth:`measure` would be answered entirely from memos."""
-        return ((workload.fingerprint(), config.key()) in self._runs
+        return ((workload.fingerprint(), config) in self._runs
                 and config.key() in self._built)
 
     def install_cache_run(self, job: CacheJob, statistics: CacheStatistics) -> None:
@@ -168,12 +237,8 @@ class LiquidPlatform:
         result of every job is bit-identical to
         :meth:`simulate_cache_job` run in isolation.
         """
-        groups: Dict[Tuple[str, int], List[CacheJob]] = {}
-        for job in jobs:
-            _, kind, cache_cfg = job
-            groups.setdefault((kind, cache_cfg.linesize_bytes), []).append(job)
         results: Dict[CacheJob, CacheStatistics] = {}
-        for (kind, linesize), group in groups.items():
+        for (_, kind, linesize), group in plan_job_groups(jobs).items():
             view = workload.columnar_view(kind, linesize)
             statistics = simulate_many(view, [job[2] for job in group])
             results.update(zip(group, statistics))
@@ -224,12 +289,8 @@ class LiquidPlatform:
         configuration's chain against the shared views with its own
         resident :class:`~repro.microarch.cachekernel.KernelState`.
         """
-        groups: Dict[Tuple[str, int], List[PhaseJob]] = {}
-        for job in jobs:
-            _, kind, cache_cfg = job
-            groups.setdefault((kind, cache_cfg.linesize_bytes), []).append(job)
         results: Dict[PhaseJob, PhaseReplay] = {}
-        for (kind, linesize), group in groups.items():
+        for (_, kind, linesize), group in plan_job_groups(jobs).items():
             views = workload.phase_views(kind, linesize)
             for job in group:
                 results[job] = replay_phases(views, job[2])
@@ -279,7 +340,7 @@ class LiquidPlatform:
 
     def profile(self, workload: Workload, config: Configuration) -> ExecutionStatistics:
         """Cycle-accurate profile of ``workload`` on ``config`` (memoised)."""
-        key = (workload.fingerprint(), config.key())
+        key = (workload.fingerprint(), config)
         if key not in self._runs:
             cache_stats = self._cache_statistics(workload, config)
             timing = TimingModel(config, self.timing_parameters)
@@ -324,6 +385,7 @@ class LiquidPlatform:
         configs: Sequence[Configuration],
         *,
         batched: bool = True,
+        cache_pairs: Optional[List[Tuple[CacheJob, CacheJob]]] = None,
     ) -> List[Measurement]:
         """Measure a configuration grid through the broadcast-batched path.
 
@@ -337,6 +399,12 @@ class LiquidPlatform:
         to :meth:`measure_many` (which ``batched=False`` falls back to),
         and all memo stores are shared, so the two paths interleave
         freely.
+
+        ``cache_pairs`` lets a caller that already planned the batch
+        through :meth:`cache_plan` (the engine sweep path) hand the
+        per-config job keys back in, skipping the second planning pass;
+        it must align positionally with ``configs`` and is ignored
+        whenever deduplication or memo hits would break that alignment.
         """
         if not batched:
             return self.measure_many(workload, configs)
@@ -352,26 +420,36 @@ class LiquidPlatform:
         # non-buildable configuration, like the per-config path)
         reports = {config.key(): self.build(config) for config in unique}
 
-        missing = [c for c in unique if (workload_key, c.key()) not in self._runs]
+        missing = (list(unique) if not self._runs else
+                   [c for c in unique if (workload_key, c) not in self._runs])
         if missing:
-            jobs = self.cache_requests(workload, missing)
-            for job, statistics in self.simulate_cache_jobs(workload, jobs).items():
-                self.install_cache_run(job, statistics)
-            pairs = []
-            for config in missing:
-                ikey, dkey = self._cache_keys(workload_key, config)
-                pairs.append((self._cache_runs[ikey], self._cache_runs[dkey]))
+            # one planning pass serves both the job dispatch and the
+            # statistics-pair assembly below (an engine that already fanned
+            # the jobs out over its pool finds nothing left to simulate)
+            if cache_pairs is not None and len(cache_pairs) == len(missing) == len(configs):
+                key_pairs = cache_pairs
+                jobs = [key for key in dict.fromkeys(
+                    key for pair in key_pairs for key in pair)
+                    if key not in self._cache_runs]
+            else:
+                key_pairs, jobs = self.cache_plan(workload, missing)
+            if jobs:
+                for job, statistics in self.simulate_cache_jobs(
+                        workload, jobs).items():
+                    self.install_cache_run(job, statistics)
+            pairs = [(self._cache_runs[ikey], self._cache_runs[dkey])
+                     for ikey, dkey in key_pairs]
             evaluated = evaluate_many(
                 workload.trace(), missing, pairs, self.timing_parameters)
             for config, statistics in zip(missing, evaluated):
-                self._runs[(workload_key, config.key())] = statistics
+                self._runs[(workload_key, config)] = statistics
                 self.run_count += 1
         return [
             Measurement(
                 workload=workload.name,
                 configuration=config,
                 resources=reports[config.key()],
-                statistics=self._runs[(workload_key, config.key())],
+                statistics=self._runs[(workload_key, config)],
             )
             for config in configs
         ]

@@ -81,7 +81,9 @@ class TestBatching:
 class TestParallelEquivalence:
     def test_parallel_batch_identical_to_sequential(self, base_config, small_workload_map):
         configs = variant_configs(base_config)
-        engine = ParallelEvaluator(workers=2)
+        # arena_threshold=0 pins the adaptive cost model to "always publish"
+        # so this test keeps exercising the pooled path on tiny batches
+        engine = ParallelEvaluator(workers=2, arena_threshold=0)
         for name, workload in small_workload_map.items():
             sequential = LiquidPlatform().measure_many(workload, configs)
             parallel = engine.measure_many(workload, configs)
