@@ -17,18 +17,32 @@ grids (the Figure 2/4 sweeps) go through the broadcast-batched
 ``measure_sweep`` fast path by default; ``--no-sweep`` forces the
 per-configuration loop (the two are bit-identical).  Engine statistics
 (dedup hits, store hits, workers, wall clock) are printed at the end.
+
+Distributed campaign mode (``--grid-db PATH``) replaces the experiment
+suite with the pull-based campaign queue: ``--register`` writes the
+Figure-2 configuration grid of the selected workloads into the database
+as open experiment rows, any number of concurrent ``--claim`` processes
+(same machine or any host sharing the file) atomically claim and
+evaluate batches until the grid is drained, ``--status`` prints the row
+counts (``--assert-drained`` makes it a CI gate), and
+``--reset-failed`` reopens failed rows with a fresh attempt budget.
+Results land in the same database's ``measurements`` table,
+bit-identical to a direct ``measure_sweep``.
 """
 
 from __future__ import annotations
 
 import argparse
 import contextlib
+import itertools
 import os
+import sys
 import time
 
-from repro.engine import ParallelEvaluator, open_store
+from repro.config import CACHE_SET_COUNTS, CACHE_SET_SIZES_KB, base_configuration
+from repro.engine import CampaignGrid, CampaignWorker, ParallelEvaluator, open_store
 from repro.platform import LiquidPlatform
-from repro.workloads import phase_scenarios, standard_workloads
+from repro.workloads import phase_scenarios, small_workloads, standard_workloads
 from repro.analysis import (
     approximation_ablation,
     dcache_exhaustive,
@@ -70,9 +84,63 @@ def parse_args() -> argparse.Namespace:
         help="route dense configuration grids (Figures 2/4) through the "
              "broadcast-batched measure_sweep fast path (bit-identical to "
              "the per-configuration path; --no-sweep disables it)")
+    grid = parser.add_argument_group(
+        "distributed campaign grid",
+        "register a configuration grid in a shared SQLite database and drain "
+        "it with any number of concurrent --claim workers")
+    grid.add_argument(
+        "--grid-db", metavar="PATH", default=None,
+        help="campaign database (grid rows and measurements share this file); "
+             "selects campaign mode instead of the experiment suite")
+    grid.add_argument(
+        "--register", action="store_true",
+        help="register the Figure-2 dcache grid of the selected workloads as "
+             "open experiment rows (idempotent; re-running adds only new rows)")
+    grid.add_argument(
+        "--claim", action="store_true",
+        help="run one campaign worker: claim open row batches, evaluate them, "
+             "write measurements back, until nothing is claimable")
+    grid.add_argument(
+        "--status", action="store_true",
+        help="print row counts by status and recent failures")
+    grid.add_argument(
+        "--reset-failed", action="store_true",
+        help="reopen every failed row with a fresh attempt budget")
+    grid.add_argument(
+        "--assert-drained", action="store_true",
+        help="with --status: exit non-zero unless every row is done (CI gate)")
+    grid.add_argument(
+        "--grid-workloads", metavar="NAMES", default=None,
+        help="comma-separated workload names to register/claim "
+             "(default: all of the selected scale)")
+    grid.add_argument(
+        "--grid-scale", choices=("standard", "small"), default="standard",
+        help="workload scale of the campaign (small = quick smoke grids)")
+    grid.add_argument(
+        "--batch", type=int, default=16,
+        help="experiment rows per claim transaction (default: 16)")
+    grid.add_argument(
+        "--lease", type=float, default=300.0,
+        help="seconds before another worker may reclaim a silent claim "
+             "(default: 300)")
+    grid.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="claim attempts per row before it rests in failed (default: 3)")
+    grid.add_argument(
+        "--worker-id", default=None,
+        help="claim identity of this worker (default: host:pid:nonce)")
+    grid.add_argument(
+        "--max-batches", type=int, default=None,
+        help="stop the worker after this many claim batches (default: drain)")
     args = parser.parse_args()
     if args.profile and args.sequential:
         parser.error("--profile requires the engine backend; drop --sequential")
+    campaign_actions = (args.register, args.claim, args.status, args.reset_failed)
+    if any(campaign_actions) and not args.grid_db:
+        parser.error("campaign actions require --grid-db PATH")
+    if args.grid_db and not any(campaign_actions):
+        parser.error("--grid-db requires --register, --claim, --status "
+                     "and/or --reset-failed")
     return args
 
 
@@ -105,8 +173,81 @@ def print_stage_profile(platform) -> None:
         print(f"  {stage:<{width}}  {seconds:9.3f}s")
 
 
+def figure2_grid(platform: LiquidPlatform):
+    """The buildable Figure-2 dcache {sets x set size} configuration grid."""
+    base = base_configuration()
+    configs = [
+        base.replace(dcache_sets=sets, dcache_setsize_kb=size)
+        for sets, size in itertools.product(CACHE_SET_COUNTS, CACHE_SET_SIZES_KB)
+    ]
+    return [config for config in configs if platform.fits(config)]
+
+
+def campaign_main(args: argparse.Namespace) -> None:
+    """Campaign mode: register/claim/status/reset against ``--grid-db``."""
+    workload_map = (standard_workloads() if args.grid_scale == "standard"
+                    else small_workloads())
+    if args.grid_workloads:
+        names = [name.strip() for name in args.grid_workloads.split(",")]
+        unknown = [name for name in names if name not in workload_map]
+        if unknown:
+            sys.exit(f"unknown workloads: {', '.join(unknown)} "
+                     f"(have: {', '.join(sorted(workload_map))})")
+    else:
+        names = sorted(workload_map)
+    workloads = [workload_map[name] for name in names]
+    platform = LiquidPlatform()
+
+    with CampaignGrid(args.grid_db) as grid:
+        grid.bind_platform(platform.device, platform.timing_parameters)
+        if args.reset_failed:
+            print(f"reopened {grid.reset_failed()} failed rows")
+        if args.register:
+            configs = figure2_grid(platform)
+            for workload in workloads:
+                added = grid.register(workload, configs)
+                print(f"registered {workload.name}: {added} new rows "
+                      f"({len(configs)} grid points)")
+        if args.claim:
+            worker = CampaignWorker(
+                grid, workloads, worker_id=args.worker_id, batch=args.batch,
+                lease_seconds=args.lease, max_attempts=args.max_attempts,
+                workers=args.workers, platform=platform)
+            try:
+                report = worker.run(max_batches=args.max_batches)
+            except KeyboardInterrupt:
+                print(f"\ninterrupted: claims released "
+                      f"({worker.report.done} rows were completed)")
+                sys.exit(130)
+            finally:
+                worker.close()
+            print(report.summary())
+            stats = report.engine
+            print(f"claims: {stats['claim_batches']} batches, "
+                  f"{stats['claim_rows']} rows, "
+                  f"{stats['claim_conflicts']} lock conflicts, "
+                  f"{stats['claim_requeues']} requeued")
+        if args.status or args.claim:
+            counts = grid.status()
+            print("status: " + ", ".join(
+                f"{counts[key]} {key}"
+                for key in ("open", "claimed", "done", "failed")) +
+                f" ({counts['total']} total)")
+            for workload, state, count in grid.workload_status():
+                print(f"  {workload}: {count} {state}")
+            for rowid, workload, attempts, error in grid.failures():
+                print(f"  failed row {rowid} ({workload}, "
+                      f"{attempts} attempts): {error}")
+            if args.assert_drained and counts["done"] != counts["total"]:
+                sys.exit(f"grid not drained: {counts['total'] - counts['done']} "
+                         f"of {counts['total']} rows not done")
+
+
 def main() -> None:
     args = parse_args()
+    if args.grid_db:
+        campaign_main(args)
+        return
     start = time.time()
     workloads = standard_workloads()
 

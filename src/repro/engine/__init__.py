@@ -14,27 +14,41 @@ and the parallel evaluator alike -- satisfies the structural
 are written once against the protocol and scaled by swapping the backend.
 """
 
-from repro.engine.arena import ArenaBlock, TraceArena, arena_available
+from repro.engine.arena import (
+    ArenaBlock,
+    TraceArena,
+    arena_available,
+    calibrate_threshold,
+)
 from repro.engine.backend import EngineStats, EvaluationBackend
+from repro.engine.campaign import CampaignGrid, CampaignReport, CampaignWorker
 from repro.engine.parallel import ParallelEvaluator
 from repro.engine.store import (
     ResultStore,
     ResultStoreBase,
     SqliteResultStore,
+    busy_retry,
+    connect_sqlite,
     open_store,
     workload_fingerprint,
 )
 
 __all__ = [
     "ArenaBlock",
+    "CampaignGrid",
+    "CampaignReport",
+    "CampaignWorker",
     "EngineStats",
     "EvaluationBackend",
     "ParallelEvaluator",
     "TraceArena",
     "arena_available",
+    "calibrate_threshold",
     "ResultStore",
     "ResultStoreBase",
     "SqliteResultStore",
+    "busy_retry",
+    "connect_sqlite",
     "open_store",
     "workload_fingerprint",
 ]

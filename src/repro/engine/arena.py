@@ -30,7 +30,10 @@ from __future__ import annotations
 
 import atexit
 import gc
+import json
 import os
+import socket
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
@@ -42,13 +45,17 @@ except ImportError:  # pragma: no cover
     _shm = None
 
 __all__ = [
+    "ARENA_CALIBRATION_CACHE_ENV",
     "ARENA_THRESHOLD_ENV",
     "ArenaBlock",
     "DEFAULT_PUBLISH_THRESHOLD",
+    "REFERENCE_PUBLISH_BANDWIDTH",
     "TraceArena",
     "arena_available",
     "attach",
     "attach_view",
+    "calibrate_threshold",
+    "measure_publish_bandwidth",
     "publish_threshold",
     "publish_worthwhile",
 ]
@@ -121,6 +128,110 @@ def publish_worthwhile(
     if effective <= 0:
         return True
     return trace_bytes * max(job_count, 0) >= effective
+
+
+#: Environment override for the calibration cache file location.
+ARENA_CALIBRATION_CACHE_ENV = "REPRO_ARENA_CALIBRATION_CACHE"
+#: Publish bandwidth (bytes/sec) of the host the default threshold was
+#: calibrated on.  :func:`calibrate_threshold` scales the default by the
+#: ratio of this to the measured bandwidth: a host that publishes slower
+#: needs a proportionally larger batch before publishing pays.
+REFERENCE_PUBLISH_BANDWIDTH = 2.0e9
+#: Bytes copied by one calibration probe publish (large enough to
+#: amortise segment-creation overhead, small enough to stay millisecond
+#: scale).
+_PROBE_BYTES = 1 << 22
+#: Calibrated thresholds are clamped to this range so a wildly noisy
+#: probe can never disable the arena outright or force publishing of
+#: trivial batches.
+_THRESHOLD_BOUNDS = (1 << 24, 1 << 32)
+
+#: Process-level memo of the calibrated threshold (one probe per process
+#: at most; usually zero thanks to the per-host cache file).
+_CALIBRATED: Optional[int] = None
+
+
+def _calibration_cache_path() -> str:
+    override = os.environ.get(ARENA_CALIBRATION_CACHE_ENV, "").strip()
+    if override:
+        return override
+    return os.path.join(
+        os.path.expanduser("~"), ".cache", "repro", "arena_threshold.json")
+
+
+def measure_publish_bandwidth(
+    probe_bytes: int = _PROBE_BYTES, reps: int = 3
+) -> float:
+    """Measured shared-memory publish bandwidth of this host (bytes/sec).
+
+    Publishes a probe array into a fresh segment ``reps`` times and takes
+    the best wall clock (first publishes absorb allocator and page-fault
+    warmup).  Every probe segment is unlinked before returning.
+    """
+    payload = np.zeros(max(1, probe_bytes // 8), dtype=np.int64)
+    best = float("inf")
+    arena = TraceArena()
+    try:
+        for _ in range(max(1, reps)):
+            start = time.perf_counter()
+            arena.publish({"probe": payload})
+            best = min(best, time.perf_counter() - start)
+    finally:
+        arena.close()
+    return payload.nbytes / max(best, 1e-9)
+
+
+def calibrate_threshold(*, force: bool = False) -> int:
+    """The adaptive publish threshold, calibrated by a measured probe.
+
+    Resolution order mirrors :func:`publish_threshold`: an explicit
+    ``REPRO_ARENA_THRESHOLD`` environment override always wins
+    unchanged.  Otherwise the threshold is
+    ``DEFAULT_PUBLISH_THRESHOLD x (reference bandwidth / measured
+    bandwidth)`` -- a host that publishes into shared memory at half the
+    calibration host's speed needs twice the batch before publishing
+    pays -- clamped to a sane range and cached per host: first in this
+    process, then in a small JSON file (``~/.cache/repro/``, overridable
+    via ``REPRO_ARENA_CALIBRATION_CACHE``) keyed by hostname so one
+    probe serves every campaign worker on the machine.  ``force=True``
+    re-probes and rewrites the cache.  Hosts without shared memory fall
+    back to the static default.
+    """
+    global _CALIBRATED
+    env = os.environ.get(ARENA_THRESHOLD_ENV, "").strip()
+    if env:
+        return int(env)
+    if _CALIBRATED is not None and not force:
+        return _CALIBRATED
+    host = socket.gethostname()
+    cache_path = _calibration_cache_path()
+    if not force:
+        try:
+            with open(cache_path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if entry.get("host") == host:
+                _CALIBRATED = int(entry["threshold"])
+                return _CALIBRATED
+        except (OSError, ValueError, KeyError, TypeError):
+            pass  # missing/stale cache: fall through to the probe
+    if not arena_available():
+        _CALIBRATED = DEFAULT_PUBLISH_THRESHOLD
+        return _CALIBRATED
+    bandwidth = measure_publish_bandwidth()
+    low, high = _THRESHOLD_BOUNDS
+    threshold = int(DEFAULT_PUBLISH_THRESHOLD
+                    * REFERENCE_PUBLISH_BANDWIDTH / bandwidth)
+    _CALIBRATED = max(low, min(high, threshold))
+    try:
+        directory = os.path.dirname(cache_path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(cache_path, "w", encoding="utf-8") as handle:
+            json.dump({"host": host, "threshold": _CALIBRATED,
+                       "publish_bandwidth": round(bandwidth)}, handle)
+    except OSError:  # pragma: no cover - read-only home: memo still applies
+        pass
+    return _CALIBRATED
 
 
 def arena_available() -> bool:

@@ -141,6 +141,23 @@ class EngineStats:
     #: cost model skipped because trace bytes x job count fell below the
     #: publish threshold -- the audit trail of the arena's cost model.
     arena_skipped: int = 0
+    #: Effective publish threshold (trace bytes x jobs) of the adaptive
+    #: arena cost model -- the calibrated per-host value from
+    #: :func:`~repro.engine.arena.calibrate_threshold` unless an explicit
+    #: override or the ``REPRO_ARENA_THRESHOLD`` environment variable
+    #: pinned it (0 until the first adaptive decision).
+    arena_threshold: int = 0
+    #: Campaign-grid sharding accounting (see
+    #: :class:`~repro.engine.campaign.CampaignWorker`): claim transactions
+    #: issued, experiment rows claimed by them, SQLite lock conflicts
+    #: retried during claim/write transactions, and rows requeued --
+    #: stale claims reclaimed from dead workers plus failed rows reopened
+    #: for retry.  Together they bound the sharding overhead a pull-based
+    #: campaign pays on top of the evaluation itself.
+    claim_batches: int = 0
+    claim_rows: int = 0
+    claim_conflicts: int = 0
+    claim_requeues: int = 0
     #: Resolved cache-kernel replay lane of the most recent batch
     #: (``crossconfig``/``numpy``/``jit``; see
     #: :func:`~repro.microarch.cachekernel.kernel_lane`).
@@ -178,6 +195,11 @@ class EngineStats:
             "arena_segments": self.arena_segments,
             "arena_bytes": self.arena_bytes,
             "arena_skipped": self.arena_skipped,
+            "arena_threshold": self.arena_threshold,
+            "claim_batches": self.claim_batches,
+            "claim_rows": self.claim_rows,
+            "claim_conflicts": self.claim_conflicts,
+            "claim_requeues": self.claim_requeues,
             "kernel_lane": self.kernel_lane,
             "batches": self.batches,
             "wall_seconds": round(self.wall_seconds, 3),

@@ -349,13 +349,20 @@ class ParallelEvaluator:
         traces *and* fanning the jobs out both cost time that scales with
         the shared trace bytes, so when ``trace bytes x job count`` falls
         below the publish threshold the whole batch runs inline instead
-        (``stats.arena_skipped`` audits each skip).  Forced arenas
-        (``arena=True``) and explicit ``arena=False`` pools never skip.
+        (``stats.arena_skipped`` audits each skip).  The threshold is the
+        per-host calibrated one (:func:`~repro.engine.arena.calibrate_threshold`)
+        unless the constructor or the environment pinned an explicit
+        value; either way ``stats.arena_threshold`` records what was
+        applied.  Forced arenas (``arena=True``) and explicit
+        ``arena=False`` pools never skip.
         """
         if not self._arena_adaptive or self._arena_forced:
             return False
-        if arena_mod.publish_worthwhile(
-                trace_bytes, job_count, self._arena_threshold):
+        threshold = self._arena_threshold
+        if threshold is None:
+            threshold = arena_mod.calibrate_threshold()
+        self.stats.arena_threshold = arena_mod.publish_threshold(threshold)
+        if arena_mod.publish_worthwhile(trace_bytes, job_count, threshold):
             return False
         self.stats.arena_skipped += 1
         return True

@@ -33,7 +33,8 @@ import hashlib
 import json
 import os
 import sqlite3
-from typing import Any, Dict, Optional, Tuple
+import time
+from typing import Any, Callable, Dict, Optional, Tuple, TypeVar
 
 import numpy as np
 
@@ -50,6 +51,9 @@ __all__ = [
     "ResultStore",
     "ResultStoreBase",
     "SqliteResultStore",
+    "busy_retry",
+    "config_key_string",
+    "connect_sqlite",
     "open_store",
     "workload_fingerprint",
     "platform_context",
@@ -57,6 +61,70 @@ __all__ = [
 
 #: File extensions that select the SQLite backend in :func:`open_store`.
 SQLITE_EXTENSIONS = (".sqlite", ".sqlite3", ".db")
+
+_T = TypeVar("_T")
+
+
+def connect_sqlite(path: str, *, busy_timeout_ms: int = 10_000) -> sqlite3.Connection:
+    """Open a SQLite connection configured for concurrent campaign access.
+
+    Every SQLite connection of the engine layer -- the measurement store
+    and the campaign experiment table alike -- goes through this helper
+    so they share one concurrency posture:
+
+    * ``journal_mode=WAL``: readers never block the single writer, which
+      is what lets many campaign workers claim rows and write results
+      against one database file without serialising on a rollback
+      journal;
+    * ``synchronous=NORMAL``: per-commit durability without a full
+      journal fsync per measurement;
+    * ``busy_timeout``: a writer that meets another writer's lock waits
+      it out inside SQLite instead of raising ``database is locked``
+      immediately (the :func:`busy_retry` wrapper handles the residual
+      timeouts under heavy claim contention).
+    """
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    conn = sqlite3.connect(path)
+    conn.execute("PRAGMA journal_mode=WAL")
+    conn.execute("PRAGMA synchronous=NORMAL")
+    conn.execute(f"PRAGMA busy_timeout={int(busy_timeout_ms)}")
+    return conn
+
+
+def busy_retry(
+    operation: Callable[[], _T],
+    *,
+    attempts: int = 6,
+    base_delay: float = 0.05,
+    on_conflict: Optional[Callable[[], None]] = None,
+) -> _T:
+    """Run a SQLite transaction, retrying lock conflicts with backoff.
+
+    ``busy_timeout`` already makes SQLite wait for a lock *inside* one
+    statement, but a campaign's claim/write transactions can still lose
+    the race once the timeout expires under heavy multi-worker
+    contention.  This wrapper retries exactly those ``database is
+    locked``/``busy`` failures (anything else propagates immediately)
+    with exponential backoff, and reports each conflict through
+    ``on_conflict`` so the engine's claim-contention accounting
+    (:attr:`~repro.engine.backend.EngineStats.claim_conflicts`) stays
+    truthful.
+    """
+    for attempt in range(attempts):
+        try:
+            return operation()
+        except sqlite3.OperationalError as exc:
+            message = str(exc).lower()
+            if "locked" not in message and "busy" not in message:
+                raise
+            if on_conflict is not None:
+                on_conflict()
+            if attempt == attempts - 1:
+                raise
+            time.sleep(base_delay * (2 ** attempt))
+    raise AssertionError("unreachable")  # pragma: no cover
 
 
 def workload_fingerprint(workload: Workload) -> str:
@@ -75,8 +143,13 @@ def platform_context(device: FpgaDevice, timing_parameters: TimingParameters) ->
     return hashlib.sha1(blob.encode()).hexdigest()[:16]
 
 
-def _config_key_string(config: Configuration) -> str:
+def config_key_string(config: Configuration) -> str:
+    """Canonical JSON key of a configuration (store and campaign rows share it)."""
     return json.dumps(config.key(), sort_keys=True, default=_jsonable)
+
+
+#: Backwards-compatible private alias (internal callers predate the export).
+_config_key_string = config_key_string
 
 
 def _jsonable(value: Any) -> Any:
@@ -305,17 +378,7 @@ class SqliteResultStore(ResultStoreBase):
         timing_parameters: Optional[TimingParameters] = None,
     ):
         super().__init__(path, device=device, timing_parameters=timing_parameters)
-        directory = os.path.dirname(path)
-        if directory:
-            os.makedirs(directory, exist_ok=True)
-        self._conn = sqlite3.connect(path)
-        # WAL + NORMAL keeps per-put commits durable without paying a full
-        # journal fsync per measurement on large campaign writes; the busy
-        # timeout makes concurrent evaluators sharing one store wait out
-        # each other's write locks instead of raising "database is locked"
-        self._conn.execute("PRAGMA journal_mode=WAL")
-        self._conn.execute("PRAGMA synchronous=NORMAL")
-        self._conn.execute("PRAGMA busy_timeout=10000")
+        self._conn = connect_sqlite(path)
         self._conn.execute(
             "CREATE TABLE IF NOT EXISTS measurements ("
             " context TEXT NOT NULL,"
@@ -348,13 +411,19 @@ class SqliteResultStore(ResultStoreBase):
     def put(self, workload: Workload, measurement: Measurement) -> bool:
         """Persist one measurement; returns ``False`` when already stored."""
         record = self._encode(workload, measurement)
-        cursor = self._conn.execute(
-            "INSERT OR IGNORE INTO measurements"
-            " (context, fingerprint, config_key, record) VALUES (?, ?, ?, ?)",
-            (self.context, record["fingerprint"], record["config_key"],
-             json.dumps(record, default=_jsonable)))
-        self._conn.commit()
-        return cursor.rowcount > 0
+
+        def write() -> bool:
+            cursor = self._conn.execute(
+                "INSERT OR IGNORE INTO measurements"
+                " (context, fingerprint, config_key, record) VALUES (?, ?, ?, ?)",
+                (self.context, record["fingerprint"], record["config_key"],
+                 json.dumps(record, default=_jsonable)))
+            self._conn.commit()
+            return cursor.rowcount > 0
+
+        # campaign workers on other hosts write the same file concurrently;
+        # residual lock timeouts are retried instead of dropping the result
+        return busy_retry(write)
 
     def get(self, workload: Workload, config: Configuration) -> Optional[Measurement]:
         """The stored measurement for ``(workload, config)``, or ``None``."""

@@ -10,6 +10,8 @@ published views instead of re-decoding (``worker_decodes == 0``).
 """
 
 import glob
+import json
+import socket
 import sys
 
 import numpy as np
@@ -17,6 +19,7 @@ import pytest
 
 from repro.config import Replacement
 from repro.engine import ParallelEvaluator, arena_available
+from repro.engine import arena
 from repro.engine.arena import TraceArena, attach, attach_view
 from repro.microarch.cachekernel import decode_trace, replay
 from repro.microarch.cache import CacheConfig
@@ -174,3 +177,62 @@ class TestEvaluatorIntegration:
             assert off.stats.arena_segments == 0
             assert off.stats.worker_decodes > 0  # workers decoded for themselves
         assert with_arena == without
+
+
+class TestThresholdCalibration:
+    """The measured per-host publish threshold (``calibrate_threshold``)."""
+
+    @pytest.fixture(autouse=True)
+    def isolated_calibration(self, tmp_path, monkeypatch):
+        """Each test gets its own cache file and a cold process memo."""
+        monkeypatch.delenv(arena.ARENA_THRESHOLD_ENV, raising=False)
+        monkeypatch.setenv(arena.ARENA_CALIBRATION_CACHE_ENV,
+                           str(tmp_path / "calibration.json"))
+        monkeypatch.setattr(arena, "_CALIBRATED", None)
+
+    def test_env_override_wins_unchanged(self, monkeypatch):
+        monkeypatch.setenv(arena.ARENA_THRESHOLD_ENV, "12345")
+        assert arena.calibrate_threshold() == 12345
+        assert arena.calibrate_threshold(force=True) == 12345
+
+    def test_probe_result_is_clamped_and_cached_per_host(self, tmp_path,
+                                                         monkeypatch):
+        value = arena.calibrate_threshold()
+        low, high = arena._THRESHOLD_BOUNDS
+        assert low <= value <= high
+        # the probe ran once; the per-host JSON cache now answers directly
+        entry = json.loads((tmp_path / "calibration.json").read_text())
+        assert entry["host"] == socket.gethostname()
+        assert entry["threshold"] == value
+
+        def no_probe(*args, **kwargs):  # a second probe would be a bug
+            raise AssertionError("re-probed despite a warm cache")
+
+        monkeypatch.setattr(arena, "measure_publish_bandwidth", no_probe)
+        monkeypatch.setattr(arena, "_CALIBRATED", None)  # new process
+        assert arena.calibrate_threshold() == value
+
+    def test_another_hosts_cache_entry_is_ignored(self, tmp_path, monkeypatch):
+        (tmp_path / "calibration.json").write_text(
+            json.dumps({"host": "someone-else", "threshold": 999}))
+        value = arena.calibrate_threshold()
+        assert value != 999  # stale entry discarded, fresh probe ran
+        entry = json.loads((tmp_path / "calibration.json").read_text())
+        assert entry["host"] == socket.gethostname()
+
+    def test_slower_hosts_need_larger_batches(self, monkeypatch):
+        monkeypatch.setattr(arena, "measure_publish_bandwidth",
+                            lambda *a, **k: arena.REFERENCE_PUBLISH_BANDWIDTH / 2)
+        doubled = arena.calibrate_threshold(force=True)
+        assert doubled == 2 * arena.DEFAULT_PUBLISH_THRESHOLD
+
+    def test_adaptive_evaluator_records_the_calibrated_threshold(
+            self, base_config):
+        workload = ArithWorkload(iterations=200)
+        configs = sweep_configs(base_config)
+        with ParallelEvaluator(LiquidPlatform(), workers=2) as engine:
+            engine.measure_sweep(workload, configs)
+            # the tiny batch is below any sane threshold: publish skipped,
+            # and the decision's threshold is on the audit trail
+            assert engine.stats.arena_skipped > 0
+            assert engine.stats.arena_threshold == arena.calibrate_threshold()

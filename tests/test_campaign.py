@@ -1,0 +1,340 @@
+"""The distributed campaign grid: claim exclusivity, crash recovery, retry.
+
+A campaign registers its configuration grid as rows of an ``experiments``
+table and lets any number of worker processes claim and evaluate batches
+(see :mod:`repro.engine.campaign`).  These tests pin the properties that
+make that sound: registration is idempotent, concurrent claimants never
+receive the same row, a worker that dies mid-claim loses its lease and
+the rows complete elsewhere, failing rows retry up to the attempt cap
+and then rest in ``failed``, interrupts hand claims straight back, and a
+drained campaign's measurements are bit-identical to a direct
+``measure_sweep`` of the same grid.
+"""
+
+import multiprocessing
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.engine import CampaignGrid, CampaignWorker, ParallelEvaluator
+from repro.engine.campaign import STATUS_DONE, STATUS_FAILED, STATUS_OPEN
+from repro.engine.store import SqliteResultStore, config_key_string
+from repro.platform import LiquidPlatform
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def grid_configs(base_config, count=6):
+    """``count`` distinct dcache geometries (several share a batch key)."""
+    configs = [
+        base_config.replace(dcache_sets=sets, dcache_setsize_kb=size)
+        for sets in (1, 2, 3)
+        for size in (1, 2, 4, 8)
+    ]
+    assert len(configs) >= count
+    return configs[:count]
+
+
+def drain(grid, workload, **kwargs):
+    """Run one worker to completion and return its report."""
+    kwargs.setdefault("workers", 1)
+    max_batches = kwargs.pop("max_batches", None)
+    with CampaignWorker(grid, [workload], **kwargs) as worker:
+        return worker.run(max_batches=max_batches)
+
+
+class TestRegistration:
+    def test_register_counts_and_is_idempotent(self, tmp_path, base_config,
+                                               arith_small):
+        configs = grid_configs(base_config)
+        with CampaignGrid(str(tmp_path / "grid.sqlite")) as grid:
+            assert grid.register(arith_small, configs) == len(configs)
+            assert grid.register(arith_small, configs) == 0
+            # a partially re-registered grid adds only the unseen rows
+            extra = base_config.replace(dcache_sets=4, dcache_setsize_kb=1)
+            assert grid.register(arith_small, configs + [extra]) == 1
+            counts = grid.status()
+            assert counts[STATUS_OPEN] == len(configs) + 1
+            assert counts["total"] == len(configs) + 1
+
+    def test_second_workload_gets_its_own_rows(self, tmp_path, base_config,
+                                               arith_small, drr_small):
+        configs = grid_configs(base_config, 4)
+        with CampaignGrid(str(tmp_path / "grid.sqlite")) as grid:
+            grid.register(arith_small, configs)
+            assert grid.register(drr_small, configs) == len(configs)
+            assert grid.status()["total"] == 2 * len(configs)
+
+
+class TestClaiming:
+    def test_claim_is_exclusive_and_round_trips_configurations(
+            self, tmp_path, base_config, arith_small):
+        configs = grid_configs(base_config)
+        with CampaignGrid(str(tmp_path / "grid.sqlite")) as grid:
+            grid.register(arith_small, configs)
+            rows = grid.claim("w1", batch=100)
+            # one claim takes one batch-key group only, so the shared-decode
+            # sweep wins survive sharding
+            keys = {CampaignGrid.batch_key(row.fingerprint, row.configuration)
+                    for row in rows}
+            assert len(keys) == 1
+            # reconstructed configurations match the registered ones exactly
+            registered = {config_key_string(config) for config in configs}
+            assert all(config_key_string(row.configuration) in registered
+                       for row in rows)
+            # claimed rows are invisible to other claimants
+            other = grid.claim("w2", batch=100)
+            assert {r.rowid for r in rows}.isdisjoint(r.rowid for r in other)
+
+    def test_release_refunds_the_attempt(self, tmp_path, base_config,
+                                         arith_small):
+        with CampaignGrid(str(tmp_path / "grid.sqlite")) as grid:
+            grid.register(arith_small, grid_configs(base_config, 3))
+            rows = grid.claim("w1", batch=3)
+            assert all(row.attempts == 1 for row in rows)
+            grid.release([row.rowid for row in rows])
+            # a clean hand-back does not burn the attempt budget
+            assert all(row.attempts == 1
+                       for row in grid.claim("w2", batch=3))
+
+    def test_concurrent_processes_claim_disjoint_rows(self, tmp_path,
+                                                      base_config,
+                                                      arith_small):
+        """Racing claimants: every row claimed exactly once, none lost."""
+        path = str(tmp_path / "grid.sqlite")
+        configs = grid_configs(base_config, 12)
+        with CampaignGrid(path) as grid:
+            grid.register(arith_small, configs)
+            total = grid.status()["total"]
+
+        start = multiprocessing.Event()
+        queue = multiprocessing.Queue()
+
+        def claim_all(worker_id):
+            claimed = []
+            with CampaignGrid(path) as worker_grid:
+                start.wait(10)
+                while True:
+                    rows = worker_grid.claim(worker_id, batch=2)
+                    if not rows:
+                        break
+                    claimed.extend(row.rowid for row in rows)
+            queue.put((worker_id, claimed))
+
+        claimants = [multiprocessing.Process(target=claim_all, args=(f"w{i}",))
+                     for i in range(3)]
+        for proc in claimants:
+            proc.start()
+        start.set()
+        results = dict(queue.get(timeout=30) for _ in claimants)
+        for proc in claimants:
+            proc.join(timeout=10)
+        sets = [set(ids) for ids in results.values()]
+        union = set().union(*sets)
+        assert len(union) == total  # nothing lost
+        assert sum(len(s) for s in sets) == total  # nothing double-claimed
+
+
+class TestCrashRecovery:
+    def test_stale_claim_is_reclaimed_and_completed(self, tmp_path,
+                                                    base_config, arith_small):
+        """A claimant that vanishes loses its lease; the grid still drains."""
+        path = str(tmp_path / "grid.sqlite")
+        configs = grid_configs(base_config)
+        with CampaignGrid(path) as grid:
+            grid.register(arith_small, configs)
+            # simulate a worker dying mid-claim: claim and never settle
+            dead = grid.claim("dead-worker", batch=3)
+            assert dead
+            report = drain(grid, arith_small, lease_seconds=0.0)
+            assert report.requeued >= len(dead)
+            assert report.engine["claim_requeues"] >= len(dead)
+            counts = grid.status()
+            assert counts[STATUS_DONE] == counts["total"]
+            # the vanished worker's attempt stayed burnt (no refund)
+            assert all(row[2] >= 1 for row in grid._conn.execute(
+                "SELECT id, status, attempts FROM experiments"))
+
+    def test_unexpired_lease_is_respected(self, tmp_path, base_config,
+                                          arith_small):
+        path = str(tmp_path / "grid.sqlite")
+        with CampaignGrid(path) as grid:
+            grid.register(arith_small, grid_configs(base_config, 4))
+            held = grid.claim("other", batch=2)
+            report = drain(grid, arith_small, lease_seconds=3600.0,
+                           retry_failed=False)
+            assert report.requeued == 0
+            counts = grid.status()
+            assert counts["claimed"] == len(held)
+            assert counts[STATUS_DONE] == counts["total"] - len(held)
+
+    def test_worker_killed_mid_claim_grid_resumes_to_completion(
+            self, tmp_path, base_config, arith_small):
+        """SIGKILL a real claiming process; a resuming worker finishes."""
+        path = str(tmp_path / "grid.sqlite")
+        configs = grid_configs(base_config)
+        with CampaignGrid(path) as grid:
+            grid.register(arith_small, configs)
+            total = grid.status()["total"]
+
+        # the victim claims a batch, reports it, then waits to be killed
+        victim_code = textwrap.dedent(f"""
+            import os, sys
+            from repro.engine import CampaignGrid
+            grid = CampaignGrid({path!r})
+            rows = grid.claim("victim", batch=3)
+            print(len(rows), flush=True)
+            sys.stdout.close()
+            import time; time.sleep(60)
+        """)
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        victim = subprocess.Popen(
+            [sys.executable, "-c", victim_code], env=env,
+            stdout=subprocess.PIPE, text=True)
+        try:
+            claimed = int(victim.stdout.readline())
+            assert claimed > 0
+            victim.kill()  # SIGKILL: no release, no cleanup
+            victim.wait(timeout=10)
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+
+        with CampaignGrid(path) as grid:
+            assert grid.status()["claimed"] == claimed
+            report = drain(grid, arith_small, lease_seconds=0.0)
+            assert report.requeued == claimed
+            counts = grid.status()
+            assert counts[STATUS_DONE] == total
+            assert counts[STATUS_OPEN] == counts["claimed"] == 0
+
+
+class TestFailureRetry:
+    def _broken_worker(self, grid, workload, error, **kwargs):
+        kwargs.setdefault("workers", 1)
+        worker = CampaignWorker(grid, [workload], **kwargs)
+
+        def explode(workload, configs):
+            raise RuntimeError(error)
+
+        worker.evaluator.measure_sweep = explode
+        return worker
+
+    def test_failing_rows_retry_to_the_attempt_cap_then_rest(
+            self, tmp_path, base_config, arith_small):
+        configs = grid_configs(base_config, 4)
+        with CampaignGrid(str(tmp_path / "grid.sqlite")) as grid:
+            grid.register(arith_small, configs)
+            with self._broken_worker(grid, arith_small, "synthetic failure",
+                                     max_attempts=3) as worker:
+                report = worker.run()  # terminates despite every row failing
+            counts = grid.status()
+            assert counts[STATUS_FAILED] == counts["total"]
+            assert report.failed == 3 * len(configs)  # cap x rows
+            rows = list(grid._conn.execute(
+                "SELECT attempts, error FROM experiments"))
+            assert all(attempts == 3 for attempts, _ in rows)
+            assert all("synthetic failure" in error for _, error in rows)
+
+    def test_reset_failed_restores_the_budget_and_the_grid_drains(
+            self, tmp_path, base_config, arith_small):
+        configs = grid_configs(base_config, 4)
+        with CampaignGrid(str(tmp_path / "grid.sqlite")) as grid:
+            grid.register(arith_small, configs)
+            with self._broken_worker(grid, arith_small, "boom",
+                                     max_attempts=2) as worker:
+                worker.run()
+            assert grid.status()[STATUS_FAILED] == len(configs)
+            assert grid.reset_failed() == len(configs)
+            assert grid.status()[STATUS_OPEN] == len(configs)
+            drain(grid, arith_small)  # a healthy worker completes the grid
+            counts = grid.status()
+            assert counts[STATUS_DONE] == counts["total"]
+
+    def test_keyboard_interrupt_releases_the_claimed_rows(
+            self, tmp_path, base_config, arith_small):
+        configs = grid_configs(base_config, 4)
+        with CampaignGrid(str(tmp_path / "grid.sqlite")) as grid:
+            grid.register(arith_small, configs)
+            with CampaignWorker(grid, [arith_small], workers=1) as worker:
+                def interrupt(workload, configs):
+                    raise KeyboardInterrupt
+                worker.evaluator.measure_sweep = interrupt
+                with pytest.raises(KeyboardInterrupt):
+                    worker.run()
+            counts = grid.status()
+            # everything back open, nothing parked behind a lease...
+            assert counts[STATUS_OPEN] == counts["total"]
+            # ...and the interrupted attempt was refunded
+            assert all(row.attempts == 1
+                       for row in grid.claim("next", batch=100))
+
+
+class TestResultsMatchDirectSweep:
+    def test_campaign_measurements_are_bit_identical(self, tmp_path,
+                                                     base_config, arith_small):
+        """A drained campaign's store equals a direct measure_sweep."""
+        path = str(tmp_path / "grid.sqlite")
+        configs = grid_configs(base_config)
+        with CampaignGrid(path) as grid:
+            grid.register(arith_small, configs)
+            report = drain(grid, arith_small, batch=4)
+            assert grid.status()[STATUS_DONE] == len(configs)
+            assert report.engine["claim_rows"] == len(configs)
+
+        with ParallelEvaluator(LiquidPlatform(), workers=1) as direct:
+            reference = direct.measure_sweep(arith_small, configs)
+
+        platform = LiquidPlatform()
+        store = SqliteResultStore(path)
+        store.bind_platform(platform.device, platform.timing_parameters)
+        for config, expected in zip(configs, reference):
+            assert store.get(arith_small, config) == expected
+        store.close()
+
+    def test_two_sequential_workers_split_the_grid(self, tmp_path,
+                                                   base_config, arith_small):
+        """Workers with partial grids each finish their share exactly once."""
+        path = str(tmp_path / "grid.sqlite")
+        configs = grid_configs(base_config, 8)
+        with CampaignGrid(path) as grid:
+            grid.register(arith_small, configs)
+            first = drain(grid, arith_small, batch=2, max_batches=2)
+            second = drain(grid, arith_small, batch=2)
+            assert first.done + second.done == len(configs)
+            counts = grid.status()
+            assert counts[STATUS_DONE] == counts["total"]
+
+
+class TestCampaignCli:
+    def _run(self, *argv, timeout=120):
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        return subprocess.run(
+            [sys.executable, str(REPO_ROOT / "scripts" / "run_experiments.py"),
+             *argv],
+            env=env, capture_output=True, text=True, timeout=timeout)
+
+    def test_register_claim_status_round_trip(self, tmp_path):
+        db = str(tmp_path / "cli.sqlite")
+        register = self._run("--grid-db", db, "--register",
+                             "--grid-scale", "small", "--grid-workloads", "arith")
+        assert register.returncode == 0, register.stderr
+        assert "registered arith" in register.stdout
+
+        # before any worker runs, --assert-drained must fail
+        undrained = self._run("--grid-db", db, "--status", "--assert-drained")
+        assert undrained.returncode != 0
+
+        claim = self._run("--grid-db", db, "--claim", "--grid-scale", "small",
+                          "--grid-workloads", "arith", "--workers", "1",
+                          "--batch", "8")
+        assert claim.returncode == 0, claim.stderr
+        assert "0 failed" in claim.stdout
+
+        status = self._run("--grid-db", db, "--status", "--assert-drained")
+        assert status.returncode == 0, status.stdout + status.stderr
+        assert "0 open" in status.stdout
