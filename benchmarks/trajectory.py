@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""Merge the ``BENCH_*.json`` artifacts into one performance trajectory.
+
+Every benchmark in this directory writes a small JSON artifact
+(``BENCH_sweep.json``, ``BENCH_campaign.json``, ``BENCH_obs.json``, plus
+their ``.smoke`` siblings from CI's reduced-scale runs).  This tool
+folds them into one schema-validated ``benchmarks/TRAJECTORY.json``: per
+source, the ``smoke`` flag and every ``configs_per_sec`` column it
+reports, addressed by its dotted path inside the artifact.  The merged
+file is committed, so the repo's throughput story is one diffable
+document instead of a directory of shapes.
+
+Usage::
+
+    python benchmarks/trajectory.py --write   # regenerate TRAJECTORY.json
+    python benchmarks/trajectory.py --check   # CI gate: fail on drift
+
+``--check`` validates the committed trajectory against the current
+``BENCH_*.json`` set: the source list and every source's column keys
+must match exactly, and *values* must match for full-scale sources
+(smoke artifacts are re-measured by every CI run, so only their shape
+is pinned).  A missing or stale committed file fails the check with the
+command that fixes it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Any, Dict
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
+TRAJECTORY_PATH = BENCH_DIR / "TRAJECTORY.json"
+SCHEMA_VERSION = 1
+#: The throughput column every benchmark artifact must report somewhere.
+COLUMN_KEY = "configs_per_sec"
+
+
+def collect_columns(node: Any, prefix: str = "") -> Dict[str, float]:
+    """Every ``configs_per_sec`` value in one artifact, by dotted path."""
+    columns: Dict[str, float] = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else key
+            if key == COLUMN_KEY:
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    raise ValueError(f"{path} must be a number, got {value!r}")
+                columns[path] = float(value)
+            else:
+                columns.update(collect_columns(value, path))
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            columns.update(collect_columns(value, f"{prefix}[{index}]"))
+    return columns
+
+
+def load_source(path: pathlib.Path) -> Dict[str, Any]:
+    """One artifact as a trajectory source entry (schema-validated)."""
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path.name}: not valid JSON ({exc})") from exc
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path.name}: artifact must be a JSON object")
+    if not isinstance(payload.get("smoke"), bool):
+        raise ValueError(f"{path.name}: missing boolean 'smoke' flag")
+    columns = collect_columns(payload)
+    if not columns:
+        raise ValueError(f"{path.name}: no '{COLUMN_KEY}' columns found")
+    return {"smoke": payload["smoke"], "columns": columns}
+
+
+def source_name(path: pathlib.Path) -> str:
+    """``BENCH_sweep.smoke.json`` -> ``sweep.smoke``."""
+    return path.name[len("BENCH_"):-len(".json")]
+
+
+def build_trajectory() -> Dict[str, Any]:
+    """The merged trajectory of every ``BENCH_*.json`` in this directory."""
+    sources = {
+        source_name(path): load_source(path)
+        for path in sorted(BENCH_DIR.glob("BENCH_*.json"))
+    }
+    if not sources:
+        raise ValueError(f"no BENCH_*.json artifacts in {BENCH_DIR}")
+    return {"version": SCHEMA_VERSION, "sources": sources}
+
+
+def check(trajectory: Dict[str, Any]) -> int:
+    """Compare the committed trajectory against the current artifacts."""
+    if not TRAJECTORY_PATH.exists():
+        print(f"missing {TRAJECTORY_PATH.name}: run "
+              "'python benchmarks/trajectory.py --write' and commit it")
+        return 1
+    committed = json.loads(TRAJECTORY_PATH.read_text())
+    errors = []
+    if committed.get("version") != SCHEMA_VERSION:
+        errors.append(f"schema version {committed.get('version')!r} != "
+                      f"{SCHEMA_VERSION}")
+    committed_sources = committed.get("sources", {})
+    fresh_sources = trajectory["sources"]
+    for name in sorted(set(committed_sources) | set(fresh_sources)):
+        if name not in fresh_sources:
+            errors.append(f"source '{name}' is committed but BENCH_{name}.json "
+                          "is gone")
+            continue
+        if name not in committed_sources:
+            errors.append(f"BENCH_{name}.json is new; not in the committed "
+                          "trajectory")
+            continue
+        fresh, old = fresh_sources[name], committed_sources[name]
+        fresh_keys = set(fresh["columns"])
+        old_keys = set(old.get("columns", {}))
+        for key in sorted(old_keys - fresh_keys):
+            errors.append(f"{name}: committed column '{key}' vanished")
+        for key in sorted(fresh_keys - old_keys):
+            errors.append(f"{name}: new column '{key}' not committed")
+        if fresh.get("smoke") != old.get("smoke"):
+            errors.append(f"{name}: smoke flag changed "
+                          f"{old.get('smoke')} -> {fresh.get('smoke')}")
+        # smoke artifacts are re-measured on every CI run; only full-scale
+        # sources pin their committed values
+        if not fresh.get("smoke"):
+            for key in sorted(fresh_keys & old_keys):
+                if fresh["columns"][key] != old["columns"][key]:
+                    errors.append(
+                        f"{name}: column '{key}' drifted "
+                        f"{old['columns'][key]} -> {fresh['columns'][key]} "
+                        "(rerun --write and commit, or revert the artifact)")
+    if errors:
+        print(f"{TRAJECTORY_PATH.name} is stale:")
+        for error in errors:
+            print(f"  - {error}")
+        return 1
+    sources = ", ".join(sorted(fresh_sources))
+    print(f"{TRAJECTORY_PATH.name} is consistent ({sources})")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--write", action="store_true",
+                      help="regenerate TRAJECTORY.json from the artifacts")
+    mode.add_argument("--check", action="store_true",
+                      help="fail when the committed trajectory is stale (CI)")
+    args = parser.parse_args()
+    try:
+        trajectory = build_trajectory()
+    except ValueError as exc:
+        print(f"benchmark artifact error: {exc}")
+        return 1
+    if args.write:
+        TRAJECTORY_PATH.write_text(
+            json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+        total = sum(len(s["columns"]) for s in trajectory["sources"].values())
+        print(f"wrote {TRAJECTORY_PATH.name}: "
+              f"{len(trajectory['sources'])} sources, {total} columns")
+        return 0
+    return check(trajectory)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,10 +24,18 @@ Figure-2 configuration grid of the selected workloads into the database
 as open experiment rows, any number of concurrent ``--claim`` processes
 (same machine or any host sharing the file) atomically claim and
 evaluate batches until the grid is drained, ``--status`` prints the row
-counts (``--assert-drained`` makes it a CI gate), and
-``--reset-failed`` reopens failed rows with a fresh attempt budget.
-Results land in the same database's ``measurements`` table,
-bit-identical to a direct ``measure_sweep``.
+counts (``--assert-drained`` makes it a CI gate, ``--json`` emits the
+machine-readable snapshot, ``--watch`` live-renders the draining grid
+with per-worker heartbeat health), and ``--reset-failed`` reopens
+failed rows with a fresh attempt budget.  Results land in the same
+database's ``measurements`` table, bit-identical to a direct
+``measure_sweep``.
+
+Observability: ``--trace out.json`` records nested wall/CPU spans of
+every pipeline stage -- across the worker pool, with per-process lanes
+-- and writes a Chrome trace-event file loadable in Perfetto
+(``.jsonl`` writes raw span records instead); ``--profile`` adds the
+metrics-registry dump next to the per-stage wall-clock table.
 """
 
 from __future__ import annotations
@@ -35,12 +43,14 @@ from __future__ import annotations
 import argparse
 import contextlib
 import itertools
+import json
 import os
 import sys
 import time
 
 from repro.config import CACHE_SET_COUNTS, CACHE_SET_SIZES_KB, base_configuration
 from repro.engine import CampaignGrid, CampaignWorker, ParallelEvaluator, open_store
+from repro.obs import enable_tracing, get_tracer
 from repro.platform import LiquidPlatform
 from repro.workloads import phase_scenarios, small_workloads, standard_workloads
 from repro.analysis import (
@@ -84,6 +94,19 @@ def parse_args() -> argparse.Namespace:
         help="route dense configuration grids (Figures 2/4) through the "
              "broadcast-batched measure_sweep fast path (bit-identical to "
              "the per-configuration path; --no-sweep disables it)")
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record pipeline spans (host and worker processes) and write a "
+             "Chrome trace-event file at exit -- load it in Perfetto; a "
+             ".jsonl suffix writes raw span records instead")
+    parser.add_argument(
+        "--only", choices=("fig2",), default=None,
+        help="run a single experiment instead of the full suite "
+             "(fig2 = the BLASTN dcache exhaustive sweep; used by CI)")
+    parser.add_argument(
+        "--scale", choices=("standard", "small"), default="standard",
+        help="workload scale of the experiment suite (small = quick smoke "
+             "traces; only honoured with --only)")
     grid = parser.add_argument_group(
         "distributed campaign grid",
         "register a configuration grid in a shared SQLite database and drain "
@@ -103,6 +126,28 @@ def parse_args() -> argparse.Namespace:
     grid.add_argument(
         "--status", action="store_true",
         help="print row counts by status and recent failures")
+    grid.add_argument(
+        "--json", action="store_true",
+        help="with --status: print the full machine-readable campaign "
+             "snapshot (counts, per-workload matrix, worker heartbeats)")
+    grid.add_argument(
+        "--watch", action="store_true",
+        help="with --status: refresh an in-terminal dashboard until the "
+             "grid drains or Ctrl-C (clean exit)")
+    grid.add_argument(
+        "--interval", type=float, default=2.0,
+        help="refresh period of --watch in seconds (default: 2)")
+    grid.add_argument(
+        "--watch-max", type=int, default=None,
+        help="stop --watch after this many refreshes (CI/testing bound)")
+    grid.add_argument(
+        "--stale-after", type=float, default=300.0,
+        help="seconds without a heartbeat before a worker is flagged STALE "
+             "(default: 300)")
+    grid.add_argument(
+        "--heartbeat", type=float, default=15.0,
+        help="seconds between a --claim worker's liveness heartbeats into "
+             "the campaign database (0 disables; default: 15)")
     grid.add_argument(
         "--reset-failed", action="store_true",
         help="reopen every failed row with a fresh attempt budget")
@@ -141,6 +186,10 @@ def parse_args() -> argparse.Namespace:
     if args.grid_db and not any(campaign_actions):
         parser.error("--grid-db requires --register, --claim, --status "
                      "and/or --reset-failed")
+    if (args.json or args.watch) and not args.status:
+        parser.error("--json/--watch modify --status; add --status")
+    if args.json and args.watch:
+        parser.error("--json and --watch are mutually exclusive")
     return args
 
 
@@ -171,6 +220,20 @@ def print_stage_profile(platform) -> None:
     width = max(len(stage) for stage in stages)
     for stage, seconds in stages.items():
         print(f"  {stage:<{width}}  {seconds:9.3f}s")
+    print(f"\n{'#' * 80}\n# Metrics registry\n{'#' * 80}")
+    print(platform.stats.registry.render_text())
+
+
+def export_trace(path: str) -> None:
+    """Write the process tracer's merged spans to ``path`` (``--trace``)."""
+    tracer = get_tracer()
+    if path.endswith(".jsonl"):
+        count = tracer.export_jsonl(path)
+        print(f"trace: {count} span records -> {path}")
+    else:
+        count = tracer.export_chrome(path)
+        print(f"trace: {count} events -> {path} "
+              "(load in https://ui.perfetto.dev)")
 
 
 def figure2_grid(platform: LiquidPlatform):
@@ -212,7 +275,8 @@ def campaign_main(args: argparse.Namespace) -> None:
             worker = CampaignWorker(
                 grid, workloads, worker_id=args.worker_id, batch=args.batch,
                 lease_seconds=args.lease, max_attempts=args.max_attempts,
-                workers=args.workers, platform=platform)
+                workers=args.workers, heartbeat_seconds=args.heartbeat,
+                platform=platform)
             try:
                 report = worker.run(max_batches=args.max_batches)
             except KeyboardInterrupt:
@@ -227,7 +291,23 @@ def campaign_main(args: argparse.Namespace) -> None:
                   f"{stats['claim_rows']} rows, "
                   f"{stats['claim_conflicts']} lock conflicts, "
                   f"{stats['claim_requeues']} requeued")
-        if args.status or args.claim:
+        if args.status and args.watch:
+            from repro.obs.dashboard import watch
+
+            watch(grid, interval=args.interval, stale_after=args.stale_after,
+                  max_refreshes=args.watch_max)
+        elif args.status and args.json:
+            from repro.obs.dashboard import campaign_snapshot
+
+            snapshot = campaign_snapshot(grid, stale_after=args.stale_after)
+            print(json.dumps(snapshot, indent=2))
+            if args.assert_drained:
+                counts = snapshot["counts"]
+                if counts["done"] != counts["total"]:
+                    sys.exit(f"grid not drained: "
+                             f"{counts['total'] - counts['done']} "
+                             f"of {counts['total']} rows not done")
+        elif args.status or args.claim:
             counts = grid.status()
             print("status: " + ", ".join(
                 f"{counts[key]} {key}"
@@ -243,11 +323,45 @@ def campaign_main(args: argparse.Namespace) -> None:
                          f"of {counts['total']} rows not done")
 
 
+def suite_fig2(args: argparse.Namespace) -> None:
+    """The reduced ``--only fig2`` run: one BLASTN dcache exhaustive sweep.
+
+    The CI observability job uses this with ``--scale small --trace`` to
+    exercise the full decode/publish/replay/solve pipeline (worker lanes
+    included) in seconds instead of minutes.
+    """
+    start = time.time()
+    workloads = (small_workloads() if args.scale == "small"
+                 else standard_workloads())
+    with managed_backend(args) as platform:
+        result = dcache_exhaustive(platform, workloads["blastn"], sweep=args.sweep)
+        print(f"\n{'#' * 80}\n# Figure 2: BLASTN dcache exhaustive "
+              f"({args.scale} scale)\n{'#' * 80}")
+        print(result.render())
+        if not args.sequential:
+            print(platform.stats.summary())
+            if args.profile:
+                print_stage_profile(platform)
+    print(f"\nTotal wall clock: {time.time() - start:.1f}s")
+
+
 def main() -> None:
     args = parse_args()
-    if args.grid_db:
-        campaign_main(args)
-        return
+    if args.trace:
+        enable_tracing()
+    try:
+        if args.grid_db:
+            campaign_main(args)
+        elif args.only == "fig2":
+            suite_fig2(args)
+        else:
+            suite_main(args)
+    finally:
+        if args.trace:
+            export_trace(args.trace)
+
+
+def suite_main(args: argparse.Namespace) -> None:
     start = time.time()
     workloads = standard_workloads()
 

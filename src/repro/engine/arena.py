@@ -39,6 +39,9 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import span
+
 try:  # pragma: no cover - shared_memory ships with CPython >= 3.8
     from multiprocessing import shared_memory as _shm
 except ImportError:  # pragma: no cover
@@ -279,23 +282,27 @@ class TraceArena:
             offset = -(-offset // _ALIGN) * _ALIGN  # round up
             layout.append((name, array.dtype.str, int(array.shape[0]), offset))
             offset += array.nbytes
-        segment = _shm.SharedMemory(create=True, size=max(1, offset))
-        try:
-            for (name, dtype, length, field_offset), array in zip(
-                    layout, contiguous.values()):
-                if length:
-                    dst = np.frombuffer(
-                        segment.buf, dtype=np.dtype(dtype),
-                        count=length, offset=field_offset)
-                    dst[:] = array
-                    del dst  # release the exported buffer so close() stays legal
-        except Exception:  # pragma: no cover - publish must not leak the segment
-            segment.close()
-            segment.unlink()
-            raise
+        with span("publish", fields=len(layout), bytes=max(1, offset)):
+            segment = _shm.SharedMemory(create=True, size=max(1, offset))
+            try:
+                for (name, dtype, length, field_offset), array in zip(
+                        layout, contiguous.values()):
+                    if length:
+                        dst = np.frombuffer(
+                            segment.buf, dtype=np.dtype(dtype),
+                            count=length, offset=field_offset)
+                        dst[:] = array
+                        del dst  # release the exported buffer so close() stays legal
+            except Exception:  # pragma: no cover - publish must not leak the segment
+                segment.close()
+                segment.unlink()
+                raise
         self._segments[segment.name] = segment
         _CREATED.add(segment.name)
         self.published_bytes += max(1, offset)
+        registry = get_registry()
+        registry.counter("arena.publishes").inc()
+        registry.histogram("arena.publish_bytes").observe(max(1, offset))
         return ArenaBlock(
             segment=segment.name,
             fields=tuple(layout),
@@ -398,6 +405,9 @@ def attach(block: ArenaBlock) -> Dict[str, np.ndarray]:
     cached = _ATTACHED.get(block.segment)
     if cached is not None:
         return cached[1]
+    registry = get_registry()
+    registry.counter("arena.attaches").inc()
+    registry.histogram("arena.attach_bytes").observe(block.nbytes)
     segment = _shm.SharedMemory(name=block.segment)
     try:
         import multiprocessing

@@ -13,12 +13,13 @@ five methods.  Consumers express *sets* of evaluations through
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Protocol, Sequence, runtime_checkable
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Protocol, Sequence, runtime_checkable
 
 from repro.config.configuration import Configuration
 from repro.fpga.report import ResourceReport
 from repro.microarch.statistics import ExecutionStatistics
+from repro.obs.metrics import MetricsRegistry
 from repro.platform.measurement import Measurement
 from repro.workloads.base import Workload
 
@@ -93,6 +94,17 @@ class EngineStats:
     (deduplication and store hits) versus how much it actually ran, and
     how: ``cache_simulations`` counts distinct cache replays, of which
     ``parallel_simulations`` went through the worker pool.
+
+    ``EngineStats`` is a *typed view* over a
+    :class:`~repro.obs.metrics.MetricsRegistry`: every scalar field below
+    is mirrored into a registry gauge named ``engine.<field>`` on
+    assignment, stage timings feed ``stage.<name>`` histograms, and the
+    registry additionally absorbs the untyped metrics of the run (arena
+    publish/attach byte histograms, campaign claim shapes, worker-side
+    deltas merged home at task boundaries).  :meth:`snapshot` reads the
+    typed fields back *from the registry*, and its keys are asserted
+    equal to the dataclass fields in the test suite -- the two surfaces
+    cannot drift.
     """
 
     #: Worker processes the evaluator may use.
@@ -166,44 +178,66 @@ class EngineStats:
     batches: int = 0
     #: Wall-clock seconds spent inside the batch API.
     wall_seconds: float = 0.0
-    #: Per-stage wall-clock (trace_generation, cache_simulation, model_build,
-    #: solve), accumulated across batches; disjoint where the engine can
-    #: observe the stages directly.
+    #: Per-stage wall-clock, accumulated across batches and disjoint where
+    #: the engine can observe the stages directly.  Stages recorded by the
+    #: engine itself: ``trace_generation``, ``cache_simulation``,
+    #: ``model_build``, ``sweep_evaluate``, ``phase_decode``,
+    #: ``phase_chain``, ``arena_publish`` and ``worker_decode``
+    #: (worker-side decode wall-clock, cumulative across the pool); the
+    #: tuner adds ``model_build`` and ``solve`` around its campaign and
+    #: solver passes.  Each accumulation also feeds a ``stage.<name>``
+    #: histogram on :attr:`registry`, so per-batch distributions survive
+    #: next to these sums.
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    #: The backing metrics registry of this stats view (excluded from
+    #: equality/repr: two runs doing the same work compare equal even
+    #: though their registries also hold timing histograms).
+    registry: MetricsRegistry = field(
+        default_factory=MetricsRegistry, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        # the generated __init__ assigned the scalar fields before the
+        # registry existed; mirror their initial values now so view and
+        # registry agree from the first moment
+        for name in _SCALAR_FIELDS:
+            self.registry.gauge(f"engine.{name}").set(getattr(self, name))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        # write-through: the dataclass field is the typed API, the
+        # registry gauge is the uniform metrics surface -- one assignment
+        # updates both, so they can never disagree
+        object.__setattr__(self, name, value)
+        registry = self.__dict__.get("registry")
+        if registry is not None and name in _SCALAR_FIELD_SET:
+            registry.gauge(f"engine.{name}").set(value)
 
     def add_stage(self, stage: str, seconds: float) -> None:
         """Accumulate wall-clock time into one named pipeline stage."""
         self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+        self.registry.histogram(f"stage.{stage}").observe(seconds)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Every field's current value, read back from the registry.
+
+        Keys are exactly the dataclass fields (minus the backing
+        ``registry`` itself): the scalar fields come from their
+        ``engine.<field>`` gauges and ``stage_seconds`` from the
+        :meth:`stage_report` sums, so the snapshot doubles as the proof
+        that the typed view and the registry agree.
+        """
+        snap: Dict[str, Any] = {
+            name: self.registry.gauge(f"engine.{name}").value
+            for name in _SCALAR_FIELDS
+        }
+        snap["stage_seconds"] = self.stage_report()
+        return snap
 
     def as_dict(self) -> Dict[str, float]:
         """Row-ready mapping used by the experiment tables."""
-        return {
-            "workers": self.workers,
-            "requested": self.requested,
-            "dedup_hits": self.dedup_hits,
-            "store_hits": self.store_hits,
-            "store_writes": self.store_writes,
-            "cache_simulations": self.cache_simulations,
-            "parallel_simulations": self.parallel_simulations,
-            "cache_groups": self.cache_groups,
-            "phase_chains": self.phase_chains,
-            "phase_decodes": self.phase_decodes,
-            "sweep_batches": self.sweep_batches,
-            "sweep_evaluations": self.sweep_evaluations,
-            "host_decodes": self.host_decodes,
-            "worker_decodes": self.worker_decodes,
-            "arena_segments": self.arena_segments,
-            "arena_bytes": self.arena_bytes,
-            "arena_skipped": self.arena_skipped,
-            "arena_threshold": self.arena_threshold,
-            "claim_batches": self.claim_batches,
-            "claim_rows": self.claim_rows,
-            "claim_conflicts": self.claim_conflicts,
-            "claim_requeues": self.claim_requeues,
-            "kernel_lane": self.kernel_lane,
-            "batches": self.batches,
-            "wall_seconds": round(self.wall_seconds, 3),
-        }
+        snap = self.snapshot()
+        del snap["stage_seconds"]
+        snap["wall_seconds"] = round(snap["wall_seconds"], 3)
+        return snap
 
     def stage_report(self) -> Dict[str, float]:
         """Stage-name -> seconds mapping (``--profile`` output), rounded."""
@@ -218,3 +252,13 @@ class EngineStats:
             f"({self.parallel_simulations} parallel on {self.workers} workers), "
             f"{self.wall_seconds:.2f}s"
         )
+
+
+#: The scalar EngineStats fields mirrored into ``engine.<name>`` registry
+#: gauges -- every dataclass field except the stage dict and the backing
+#: registry itself.  Module-level so :meth:`EngineStats.__setattr__` pays
+#: one frozenset probe per assignment.
+_SCALAR_FIELDS = tuple(
+    f.name for f in fields(EngineStats)
+    if f.name not in ("stage_seconds", "registry"))
+_SCALAR_FIELD_SET = frozenset(_SCALAR_FIELDS)

@@ -73,6 +73,7 @@ from repro.engine.store import (
 )
 from repro.fpga.device import FpgaDevice, XCV2000E
 from repro.microarch.timing import TimingParameters
+from repro.obs.tracer import span
 from repro.platform.liquid import LiquidPlatform
 from repro.workloads.base import Workload
 
@@ -170,6 +171,23 @@ class CampaignGrid:
         self._conn.execute(
             "CREATE INDEX IF NOT EXISTS experiments_claim"
             " ON experiments (context, status, batch_key, id)")
+        # one row per live worker, upserted on every beat: the dashboard's
+        # view of who is draining the grid and how fast (same file, so any
+        # terminal that can see the campaign can see its workers)
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS heartbeats ("
+            " context TEXT NOT NULL,"
+            " worker TEXT NOT NULL,"
+            " host TEXT NOT NULL,"
+            " pid INTEGER NOT NULL,"
+            " ts REAL NOT NULL,"
+            " batches INTEGER NOT NULL DEFAULT 0,"
+            " claimed INTEGER NOT NULL DEFAULT 0,"
+            " done INTEGER NOT NULL DEFAULT 0,"
+            " failed INTEGER NOT NULL DEFAULT 0,"
+            " rows_per_sec REAL NOT NULL DEFAULT 0,"
+            " engine TEXT,"
+            " PRIMARY KEY (context, worker))")
         self._conn.commit()
 
     def bind_platform(self, device: FpgaDevice, timing_parameters: TimingParameters) -> None:
@@ -451,6 +469,58 @@ class CampaignGrid:
         counts = self.status()
         return counts["total"] - counts[STATUS_DONE]
 
+    # -- worker heartbeats -----------------------------------------------------------------
+
+    def heartbeat(
+        self,
+        worker_id: str,
+        *,
+        batches: int = 0,
+        claimed: int = 0,
+        done: int = 0,
+        failed: int = 0,
+        rows_per_sec: float = 0.0,
+        engine: Optional[Dict[str, Any]] = None,
+        on_conflict=None,
+    ) -> None:
+        """Upsert this worker's liveness row (one row per worker).
+
+        Each beat overwrites the previous one with cumulative progress
+        counters and the worker's self-reported throughput; the beat
+        timestamp is what the dashboard ages to flag ``STALE`` workers.
+        """
+        params = (
+            self.context, worker_id, socket.gethostname(), os.getpid(),
+            time.time(), batches, claimed, done, failed, rows_per_sec,
+            json.dumps(engine, sort_keys=True) if engine else None)
+
+        def transact() -> None:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO heartbeats"
+                " (context, worker, host, pid, ts, batches, claimed, done,"
+                "  failed, rows_per_sec, engine)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)", params)
+            self._conn.commit()
+
+        busy_retry(transact, on_conflict=on_conflict)
+
+    def worker_heartbeats(self) -> List[Dict[str, Any]]:
+        """Every worker's latest heartbeat for this context, newest first."""
+        rows = self._conn.execute(
+            "SELECT worker, host, pid, ts, batches, claimed, done, failed,"
+            " rows_per_sec, engine FROM heartbeats"
+            " WHERE context = ? ORDER BY ts DESC", (self.context,))
+        return [
+            {
+                "worker": worker, "host": host, "pid": pid, "ts": ts,
+                "batches": batches, "claimed": claimed, "done": done,
+                "failed": failed, "rows_per_sec": rows_per_sec,
+                "engine": json.loads(engine) if engine else None,
+            }
+            for worker, host, pid, ts, batches, claimed, done, failed,
+            rows_per_sec, engine in rows
+        ]
+
 
 @dataclass
 class CampaignReport:
@@ -501,7 +571,11 @@ class CampaignWorker:
     before another worker may steal a silent claim, ``max_attempts``
     per row before it rests in ``failed``, ``workers`` processes inside
     this worker's own evaluator (default 1: the campaign process is the
-    unit of parallelism; raise it when one worker owns a whole machine).
+    unit of parallelism; raise it when one worker owns a whole machine),
+    and ``heartbeat_seconds`` between liveness upserts into the grid's
+    ``heartbeats`` table (0 disables them; a beat is also written at
+    loop entry and on exit so even instant drains leave a row for the
+    dashboard).
     """
 
     def __init__(
@@ -515,6 +589,7 @@ class CampaignWorker:
         max_attempts: int = 3,
         retry_failed: bool = True,
         workers: int = 1,
+        heartbeat_seconds: float = 15.0,
         platform: Optional[LiquidPlatform] = None,
         store: Optional[SqliteResultStore] = None,
     ):
@@ -524,6 +599,9 @@ class CampaignWorker:
         self.lease_seconds = lease_seconds
         self.max_attempts = max(1, max_attempts)
         self.retry_failed = retry_failed
+        self.heartbeat_seconds = max(0.0, heartbeat_seconds)
+        self._loop_start = 0.0
+        self._last_beat = 0.0
         self.platform = platform or LiquidPlatform()
         self.store = store or SqliteResultStore(
             grid.path, device=self.platform.device,
@@ -554,6 +632,33 @@ class CampaignWorker:
     def _count_conflict(self) -> None:
         self.evaluator.stats.claim_conflicts += 1
 
+    def _beat(self, *, force: bool = False) -> None:
+        """Upsert this worker's heartbeat row when the interval elapsed.
+
+        Heartbeats are strictly best-effort liveness: a locked-out or
+        broken beat never interrupts the pull loop (the row ages into
+        ``STALE`` on the dashboard instead).
+        """
+        if self.heartbeat_seconds <= 0:
+            return
+        now = time.monotonic()
+        if not force and now - self._last_beat < self.heartbeat_seconds:
+            return
+        report = self.report
+        elapsed = now - self._loop_start if self._loop_start else 0.0
+        rate = report.done / elapsed if elapsed > 0 and report.done else 0.0
+        try:
+            self.grid.heartbeat(
+                self.worker_id,
+                batches=report.batches, claimed=report.claimed,
+                done=report.done, failed=report.failed,
+                rows_per_sec=round(rate, 3),
+                engine=self.evaluator.stats.as_dict(),
+                on_conflict=self._count_conflict)
+        except Exception:  # pragma: no cover - liveness must not kill work
+            return
+        self._last_beat = now
+
     def run(self, max_batches: Optional[int] = None) -> CampaignReport:
         """Drain the grid until nothing is claimable (or ``max_batches``).
 
@@ -563,6 +668,8 @@ class CampaignWorker:
         stats = self.evaluator.stats
         report = self.report
         start = time.perf_counter()
+        self._loop_start = time.monotonic()
+        self._beat(force=True)
         try:
             while max_batches is None or report.batches < max_batches:
                 requeued = self.grid.reclaim_stale(
@@ -571,11 +678,13 @@ class CampaignWorker:
                 stats.claim_requeues += requeued
                 self.grid.retire_exhausted(
                     self.max_attempts, on_conflict=self._count_conflict)
-                rows = self.grid.claim(
-                    self.worker_id, batch=self.batch,
-                    fingerprints=self.workloads,
-                    max_attempts=self.max_attempts,
-                    on_conflict=self._count_conflict)
+                with span("claim", worker=self.worker_id) as claim_span:
+                    rows = self.grid.claim(
+                        self.worker_id, batch=self.batch,
+                        fingerprints=self.workloads,
+                        max_attempts=self.max_attempts,
+                        on_conflict=self._count_conflict)
+                    claim_span.set(rows=len(rows))
                 if not rows:
                     if self.retry_failed:
                         reopened = self.grid.reopen_failed(
@@ -589,7 +698,9 @@ class CampaignWorker:
                 report.claimed += len(rows)
                 stats.claim_batches += 1
                 stats.claim_rows += len(rows)
+                stats.registry.histogram("campaign.claim_rows").observe(len(rows))
                 self._evaluate(rows)
+                self._beat()
         finally:
             # clean hand-back of anything still claimed: an interrupt (or a
             # bug above) must never park rows until the lease expires
@@ -599,6 +710,7 @@ class CampaignWorker:
                 pass
             report.wall_seconds += time.perf_counter() - start
             report.engine = stats.as_dict()
+            self._beat(force=True)
         return report
 
     def _evaluate(self, rows: Sequence[GridRow]) -> None:

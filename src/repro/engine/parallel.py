@@ -35,7 +35,8 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from contextlib import contextmanager
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -55,6 +56,14 @@ from repro.microarch.cachekernel import (
     simulate_many,
 )
 from repro.microarch.statistics import ExecutionStatistics
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import (
+    SpanRecord,
+    enable_tracing,
+    get_tracer,
+    span,
+    tracing_enabled,
+)
 from repro.platform.liquid import CacheJob, LiquidPlatform, PhaseJob
 from repro.platform.measurement import Measurement, PhasedMeasurement
 from repro.workloads.base import Workload
@@ -76,15 +85,33 @@ _WORKER_VIEWS: Dict[Tuple[str, str, int], ColumnarTrace] = {}
 _WORKER_PHASE_VIEWS: Dict[Tuple[str, str, int], List[ColumnarTrace]] = {}
 
 
+#: Telemetry payload shipped home with every worker task: the spans the
+#: task produced (empty when tracing is off) and the worker registry's
+#: metric deltas since the last task.
+Telemetry = Tuple[List[SpanRecord], Dict[str, Dict[str, Any]]]
+
+
 def _init_worker(
     traces: Dict[str, object],
     phases: Optional[Dict[str, Tuple[Tuple[int, ...], Tuple[int, ...]]]] = None,
+    tracing: bool = False,
 ) -> None:
     global _WORKER_TRACES, _WORKER_PHASES, _WORKER_VIEWS, _WORKER_PHASE_VIEWS
     _WORKER_TRACES = traces
     _WORKER_PHASES = phases or {}
     _WORKER_VIEWS = {}
     _WORKER_PHASE_VIEWS = {}
+    if tracing:
+        # the worker traces into its own process tracer; tasks drain it at
+        # their boundary and ship the spans home inside the result tuple
+        enable_tracing()
+
+
+def _worker_telemetry() -> Telemetry:
+    """Drain this worker's spans and metric deltas (task boundary)."""
+    tracer = get_tracer()
+    events = tracer.drain() if tracer.enabled else []
+    return events, get_registry().drain()
 
 
 def _worker_arrays(workload_key: str) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -134,12 +161,13 @@ def _worker_phase_views(
 
 def _run_cache_group(
     chunk: Tuple[CacheJob, ...]
-) -> Tuple[Tuple[CacheJob, ...], List[CacheStatistics], int, float]:
+) -> Tuple[Tuple[CacheJob, ...], List[CacheStatistics], int, float, Telemetry]:
     """Replay one shared-decode job chunk; results align with the chunk.
 
     Also returns the fresh-decode count / wall-clock this call paid (zero
     when this worker already held the group's view), so the engine's
-    decode accounting stays truthful across the pool.
+    decode accounting stays truthful across the pool, and the task's
+    telemetry (spans plus metric deltas) for the host to merge.
     """
     workload_key, kind, first_cfg = chunk[0]
     fresh = (workload_key, kind, first_cfg.linesize_bytes) not in _WORKER_VIEWS
@@ -147,12 +175,12 @@ def _run_cache_group(
     view = _worker_view(workload_key, kind, first_cfg.linesize_bytes)
     decode_seconds = time.perf_counter() - decode_start if fresh else 0.0
     statistics = simulate_many(view, [job[2] for job in chunk])
-    return chunk, statistics, (1 if fresh else 0), decode_seconds
+    return chunk, statistics, (1 if fresh else 0), decode_seconds, _worker_telemetry()
 
 
 def _run_cache_group_arena(
     chunk: Tuple[CacheJob, ...], block: ArenaBlock
-) -> Tuple[Tuple[CacheJob, ...], List[CacheStatistics], int, float]:
+) -> Tuple[Tuple[CacheJob, ...], List[CacheStatistics], int, float, Telemetry]:
     """Replay one job chunk against a host-published decoded view.
 
     The view was decoded once in the parent and published to the arena;
@@ -161,20 +189,21 @@ def _run_cache_group_arena(
     the sweep benchmark measures.
     """
     view = arena_mod.attach_view(block)
-    return chunk, simulate_many(view, [job[2] for job in chunk]), 0, 0.0
+    statistics = simulate_many(view, [job[2] for job in chunk])
+    return chunk, statistics, 0, 0.0, _worker_telemetry()
 
 
 def _run_phase_group(
     chunk: Tuple[PhaseJob, ...]
-) -> Tuple[Tuple[PhaseJob, ...], List[PhaseReplay], int, float]:
+) -> Tuple[Tuple[PhaseJob, ...], List[PhaseReplay], int, float, Telemetry]:
     """Replay one shared-decode chunk of warm phase chains.
 
     The worker decodes the group's phases once and keeps each
     configuration's :class:`~repro.microarch.cachekernel.KernelState`
     resident across its whole chain.  Returns the chunk, its replays,
-    and the fresh-decode count / wall-clock this call paid (zero when
-    this worker already held the group's views), so the engine's decode
-    accounting stays truthful across the pool.
+    the fresh-decode count / wall-clock this call paid (zero when this
+    worker already held the group's views) so the engine's decode
+    accounting stays truthful across the pool, and the task telemetry.
     """
     workload_key, kind, first_cfg = chunk[0]
     fresh = (workload_key, kind, first_cfg.linesize_bytes) not in _WORKER_PHASE_VIEWS
@@ -182,7 +211,8 @@ def _run_phase_group(
     views = _worker_phase_views(workload_key, kind, first_cfg.linesize_bytes)
     decode_seconds = time.perf_counter() - decode_start if fresh else 0.0
     decodes = len(views) if fresh else 0
-    return chunk, [replay_phases(views, job[2]) for job in chunk], decodes, decode_seconds
+    replays = [replay_phases(views, job[2]) for job in chunk]
+    return chunk, replays, decodes, decode_seconds, _worker_telemetry()
 
 
 class ParallelEvaluator:
@@ -250,6 +280,10 @@ class ParallelEvaluator:
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_traces: Dict[str, object] = {}
         self._pool_phases: Dict[str, Tuple[Tuple[int, ...], Tuple[int, ...]]] = {}
+        #: Whether the current pool was spawned with tracing workers; a
+        #: toggle of the process tracer forces a respawn so worker spans
+        #: start (or stop) flowing without surprising stale pools.
+        self._pool_tracing = False
         self._arena_enabled = arena_available() if arena is None else bool(arena)
         self._arena_forced = arena is True
         # adaptive mode: only the probed default applies the cost model;
@@ -316,7 +350,9 @@ class ParallelEvaluator:
         phases = phases or {}
         new_workloads = [key for key in traces if key not in self._pool_traces]
         new_phases = [key for key in phases if key not in self._pool_phases]
-        if self._pool is None or new_workloads or new_phases:
+        tracing = tracing_enabled()
+        if (self._pool is None or new_workloads or new_phases
+                or tracing != self._pool_tracing):
             self._shutdown_pool()
             for key, entry in traces.items():
                 if key in self._pool_traces:
@@ -330,10 +366,11 @@ class ParallelEvaluator:
                 self._pool_traces[key] = entry
             self._sync_arena_stats()
             self._pool_phases.update(phases)
+            self._pool_tracing = tracing
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 initializer=_init_worker,
-                initargs=(self._pool_traces, self._pool_phases),
+                initargs=(self._pool_traces, self._pool_phases, tracing),
             )
         return self._pool
 
@@ -341,6 +378,42 @@ class ParallelEvaluator:
         if self._arena is not None:
             self.stats.arena_segments = self._arena.segment_count
             self.stats.arena_bytes = self._arena.published_bytes
+
+    @contextmanager
+    def _stage(self, name: str, **attrs):
+        """Time one pipeline stage: a span plus the ``stage_seconds`` sum.
+
+        The span and the accumulated stage share one clock read, so the
+        span tree of a traced run reconciles with ``stats.stage_seconds``
+        exactly (a property the observability tests assert).
+        """
+        with span(name, **attrs):
+            start = time.perf_counter()
+            try:
+                yield
+            finally:
+                self.stats.add_stage(name, time.perf_counter() - start)
+
+    def _absorb_telemetry(self, telemetry: Telemetry) -> None:
+        """Merge one worker task's spans and metric deltas into this engine."""
+        events, deltas = telemetry
+        if events:
+            get_tracer().absorb(events)
+        if deltas:
+            self.stats.registry.merge(deltas)
+
+    def _merge_host_metrics(self) -> None:
+        """Fold the process-global metrics into this engine's registry.
+
+        Library layers without an engine reference (arena publish/attach,
+        store lock retries) count into the process registry; draining it
+        at batch end parents those metrics under the run's
+        :attr:`EngineStats.registry` without double counting across
+        batches or evaluators.
+        """
+        deltas = get_registry().drain()
+        if deltas:
+            self.stats.registry.merge(deltas)
 
     def _skip_small_batch(self, trace_bytes: int, job_count: int) -> bool:
         """Adaptive cost model: ``True`` means replay this batch inline.
@@ -412,10 +485,9 @@ class ParallelEvaluator:
 
         # materialise every workload's trace up front so trace generation is
         # accounted as its own stage instead of leaking into cache planning
-        trace_start = time.perf_counter()
-        for workload in batches:
-            workload.trace()
-        self.stats.add_stage("trace_generation", time.perf_counter() - trace_start)
+        with self._stage("trace_generation", workloads=len(batches)):
+            for workload in batches:
+                workload.trace()
 
         plan: List[Tuple[Workload, List[Configuration],
                          Dict[Configuration, Measurement]]] = []
@@ -430,22 +502,22 @@ class ParallelEvaluator:
                     seen_jobs.add(job)
                     jobs.append(job)
 
-        cache_start = time.perf_counter()
-        self._execute_cache_jobs({workload: missing for workload, missing, _ in plan}, jobs)
-        self.stats.add_stage("cache_simulation", time.perf_counter() - cache_start)
+        with self._stage("cache_simulation", jobs=len(jobs)):
+            self._execute_cache_jobs(
+                {workload: missing for workload, missing, _ in plan}, jobs)
 
-        build_start = time.perf_counter()
-        results: Dict[Workload, List[Measurement]] = {}
-        for workload, missing, ready in plan:
-            for config in missing:
-                measurement = self.platform.measure(workload, config)
-                ready[config] = measurement
-                if self.store is not None and self.store.put(workload, measurement):
-                    self.stats.store_writes += 1
-            results[workload] = [ready[c] for c in batches[workload]]
-        self.stats.add_stage("model_build", time.perf_counter() - build_start)
+        with self._stage("model_build"):
+            results: Dict[Workload, List[Measurement]] = {}
+            for workload, missing, ready in plan:
+                for config in missing:
+                    measurement = self.platform.measure(workload, config)
+                    ready[config] = measurement
+                    if self.store is not None and self.store.put(workload, measurement):
+                        self.stats.store_writes += 1
+                results[workload] = [ready[c] for c in batches[workload]]
 
         self.stats.wall_seconds += time.perf_counter() - start
+        self._merge_host_metrics()
         return results
 
     def _plan_workload_batch(
@@ -497,31 +569,29 @@ class ParallelEvaluator:
         start = time.perf_counter()
         self.stats.batches += 1
 
-        trace_start = time.perf_counter()
-        workload.trace()
-        self.stats.add_stage("trace_generation", time.perf_counter() - trace_start)
+        with self._stage("trace_generation"):
+            workload.trace()
 
         missing, ready = self._plan_workload_batch(workload, configs)
 
-        cache_start = time.perf_counter()
-        # one planning pass: the pairs feed the platform sweep below so it
-        # never rewalks the grid's parameter keys after the fan-out
-        key_pairs, jobs = self.platform.cache_plan(workload, missing)
-        self._execute_cache_jobs({workload: missing}, jobs)
-        self.stats.add_stage("cache_simulation", time.perf_counter() - cache_start)
+        with self._stage("cache_simulation"):
+            # one planning pass: the pairs feed the platform sweep below so
+            # it never rewalks the grid's parameter keys after the fan-out
+            key_pairs, jobs = self.platform.cache_plan(workload, missing)
+            self._execute_cache_jobs({workload: missing}, jobs)
 
-        sweep_start = time.perf_counter()
-        for config, measurement in zip(
-                missing, self.platform.measure_sweep(
-                    workload, missing, cache_pairs=key_pairs)):
-            ready[config] = measurement
-            if self.store is not None and self.store.put(workload, measurement):
-                self.stats.store_writes += 1
-        self.stats.sweep_batches += 1
-        self.stats.sweep_evaluations += len(missing)
-        self.stats.add_stage("sweep_evaluate", time.perf_counter() - sweep_start)
+        with self._stage("sweep_evaluate", configs=len(missing)):
+            for config, measurement in zip(
+                    missing, self.platform.measure_sweep(
+                        workload, missing, cache_pairs=key_pairs)):
+                ready[config] = measurement
+                if self.store is not None and self.store.put(workload, measurement):
+                    self.stats.store_writes += 1
+            self.stats.sweep_batches += 1
+            self.stats.sweep_evaluations += len(missing)
 
         self.stats.wall_seconds += time.perf_counter() - start
+        self._merge_host_metrics()
         return [ready[config] for config in configs]
 
     # -- phased batches --------------------------------------------------------------------
@@ -547,9 +617,9 @@ class ParallelEvaluator:
         overall = self.measure_many(workload, configs)
 
         jobs = self.platform.phase_requests(workload, configs)
-        phase_start = time.perf_counter()
-        self._execute_phase_jobs(workload, jobs)
-        self.stats.add_stage("phase_chain", time.perf_counter() - phase_start)
+        with self._stage("phase_chain", jobs=len(jobs)):
+            self._execute_phase_jobs(workload, jobs)
+        self._merge_host_metrics()
 
         results = []
         for config, measurement in zip(configs, overall):
@@ -588,12 +658,11 @@ class ParallelEvaluator:
         fresh decode so the phase benchmarks can assert the warm path
         re-decodes nothing as the configuration sweep grows.
         """
-        decode_start = time.perf_counter()
-        for kind, linesize in {(kind, cfg.linesize_bytes) for _, kind, cfg in jobs}:
-            if not workload.has_phase_views(kind, linesize):
-                self.stats.phase_decodes += workload.phase_count
-            workload.phase_views(kind, linesize)
-        self.stats.add_stage("phase_decode", time.perf_counter() - decode_start)
+        with self._stage("phase_decode"):
+            for kind, linesize in {(kind, cfg.linesize_bytes) for _, kind, cfg in jobs}:
+                if not workload.has_phase_views(kind, linesize):
+                    self.stats.phase_decodes += workload.phase_count
+                workload.phase_views(kind, linesize)
 
     def _execute_phase_jobs(
         self, workload: PhasedWorkload, jobs: List[PhaseJob]
@@ -623,7 +692,8 @@ class ParallelEvaluator:
             futures = [pool.submit(_run_phase_group, chunk)
                        for chunk in self._chunk_groups(groups)]
             for future in as_completed(futures):
-                chunk, replays, decodes, decode_seconds = future.result()
+                chunk, replays, decodes, decode_seconds, telemetry = future.result()
+                self._absorb_telemetry(telemetry)
                 completed.update(zip(chunk, replays))
                 if decodes:
                     # worker-side decode accounting: fresh decodes per worker
@@ -724,27 +794,26 @@ class ParallelEvaluator:
         arena = self._get_arena()
         if arena is None:
             return None
-        decode_start = time.perf_counter()
         blocks: Dict[Tuple[str, str, int], ArenaBlock] = {}
         try:
-            for group in groups:
-                key = self._group_key(group)
-                block = self._view_blocks.get(key)
-                if block is None:
-                    workload_key, kind, linesize = key
-                    trace = workloads_by_key[workload_key].trace()
-                    if not trace.has_columnar_view(kind, linesize):
-                        self.stats.host_decodes += 1
-                    view = trace.columnar_view(kind, linesize)
-                    block = arena.publish_view(view)
-                    self._view_blocks[key] = block
-                blocks[key] = block
+            with self._stage("arena_publish", groups=len(groups)):
+                for group in groups:
+                    key = self._group_key(group)
+                    block = self._view_blocks.get(key)
+                    if block is None:
+                        workload_key, kind, linesize = key
+                        trace = workloads_by_key[workload_key].trace()
+                        if not trace.has_columnar_view(kind, linesize):
+                            self.stats.host_decodes += 1
+                        view = trace.columnar_view(kind, linesize)
+                        block = arena.publish_view(view)
+                        self._view_blocks[key] = block
+                    blocks[key] = block
         except OSError:  # pragma: no cover - /dev/shm exhausted or revoked
             self._arena_enabled = False
             return None
         finally:
             self._sync_arena_stats()
-            self.stats.add_stage("arena_publish", time.perf_counter() - decode_start)
         return blocks
 
     def _execute_cache_jobs(
@@ -789,7 +858,8 @@ class ParallelEvaluator:
                     else:
                         futures.append(pool.submit(_run_cache_group, chunk))
             for future in as_completed(futures):
-                chunk, statistics, decodes, decode_seconds = future.result()
+                chunk, statistics, decodes, decode_seconds, telemetry = future.result()
+                self._absorb_telemetry(telemetry)
                 completed.update(zip(chunk, statistics))
                 if decodes:
                     # worker-side decode accounting: fresh decodes per worker

@@ -44,6 +44,7 @@ from repro.fpga.report import ResourceReport
 from repro.microarch.cache import CacheStatistics
 from repro.microarch.statistics import ExecutionStatistics
 from repro.microarch.timing import TimingParameters
+from repro.obs.metrics import get_registry
 from repro.platform.measurement import Measurement
 from repro.workloads.base import Workload
 
@@ -119,6 +120,7 @@ def busy_retry(
             message = str(exc).lower()
             if "locked" not in message and "busy" not in message:
                 raise
+            get_registry().counter("store.lock_conflicts").inc()
             if on_conflict is not None:
                 on_conflict()
             if attempt == attempts - 1:

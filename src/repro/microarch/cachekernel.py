@@ -81,6 +81,7 @@ import numpy as np
 from repro.config.leon_space import Replacement
 from repro.errors import ConfigurationError
 from repro.microarch.cache import CacheConfig, CacheStatistics
+from repro.obs.tracer import span
 
 __all__ = [
     "ColumnarTrace",
@@ -181,6 +182,18 @@ def decode_trace(
     geometry- and policy-independent: every configuration with this line
     size replays the same decoded view.
     """
+    with span("decode", linesize=linesize_bytes) as decode_span:
+        view = _decode_trace(addresses, writes, linesize_bytes=linesize_bytes)
+        decode_span.set(accesses=view.accesses, events=len(view))
+        return view
+
+
+def _decode_trace(
+    addresses: np.ndarray,
+    writes: Optional[np.ndarray],
+    *,
+    linesize_bytes: int,
+) -> ColumnarTrace:
     addresses = np.asarray(addresses, dtype=np.int64)
     n = len(addresses)
     if writes is None:
@@ -352,19 +365,21 @@ def simulate_many(
     """
     resolved = kernel_lane(lane)
     configs = list(configs)
-    if resolved == LANE_CROSSCONFIG and view.accesses and len(view):
-        associative = [i for i, c in enumerate(configs) if c.ways > 1]
-        if len(associative) >= 2:
-            results: List[Optional[CacheStatistics]] = [None] * len(configs)
-            stacked, _ = replay_many_associative(
-                view, [configs[i] for i in associative])
-            for i, statistics in zip(associative, stacked):
-                results[i] = statistics
-            for i, config in enumerate(configs):
-                if results[i] is None:
-                    results[i] = replay(view, config, lane=resolved)
-            return results
-    return [replay(view, config, lane=resolved) for config in configs]
+    with span("replay", configs=len(configs), lane=resolved,
+              linesize=view.linesize_bytes):
+        if resolved == LANE_CROSSCONFIG and view.accesses and len(view):
+            associative = [i for i, c in enumerate(configs) if c.ways > 1]
+            if len(associative) >= 2:
+                results: List[Optional[CacheStatistics]] = [None] * len(configs)
+                stacked, _ = replay_many_associative(
+                    view, [configs[i] for i in associative])
+                for i, statistics in zip(associative, stacked):
+                    results[i] = statistics
+                for i, config in enumerate(configs):
+                    if results[i] is None:
+                        results[i] = replay(view, config, lane=resolved)
+                return results
+        return [replay(view, config, lane=resolved) for config in configs]
 
 
 def replay_chain(
@@ -427,11 +442,12 @@ def replay_phases(
     two replays (and with every other geometry at this line size), so
     asking for both costs two cheap replays of the same views.
     """
-    warm, _ = replay_chain(views, config)
-    return PhaseReplay(
-        warm=tuple(warm),
-        cold=tuple(replay(view, config) for view in views),
-    )
+    with span("replay_phases", phases=len(views), ways=config.ways):
+        warm, _ = replay_chain(views, config)
+        return PhaseReplay(
+            warm=tuple(warm),
+            cold=tuple(replay(view, config) for view in views),
+        )
 
 
 # -- per-set potential-miss views --------------------------------------------------------

@@ -33,6 +33,7 @@ from repro.microarch.cache import Cache, CacheConfig, CacheStatistics
 from repro.microarch.cachekernel import PhaseReplay, replay_phases, simulate_many
 from repro.microarch.statistics import ExecutionStatistics
 from repro.microarch.timing import TimingModel, TimingParameters, evaluate_many
+from repro.obs.tracer import span
 from repro.platform.measurement import Measurement, PhasedMeasurement
 from repro.workloads.base import Workload
 from repro.workloads.phased import PhasedWorkload
@@ -439,8 +440,9 @@ class LiquidPlatform:
                     self.install_cache_run(job, statistics)
             pairs = [(self._cache_runs[ikey], self._cache_runs[dkey])
                      for ikey, dkey in key_pairs]
-            evaluated = evaluate_many(
-                workload.trace(), missing, pairs, self.timing_parameters)
+            with span("solve", configs=len(missing), workload=workload.name):
+                evaluated = evaluate_many(
+                    workload.trace(), missing, pairs, self.timing_parameters)
             for config, statistics in zip(missing, evaluated):
                 self._runs[(workload_key, config)] = statistics
                 self.run_count += 1

@@ -1,0 +1,485 @@
+"""The unified telemetry layer: tracer, metrics registry, dashboard.
+
+These tests pin the observability contracts: spans nest and record
+correct depth/attrs, disabled tracing is a true no-op, worker spans
+survive the pool fan-out without loss and merge into distinct per-pid
+lanes of a schema-valid Chrome trace, the typed :class:`EngineStats`
+view can never drift from its backing registry (snapshot keys ==
+dataclass fields), stage spans reconcile with ``stage_seconds``,
+campaign workers persist heartbeat rows that the dashboard ages into
+``STALE`` flags, and the CLI's ``--status --json`` / ``--status
+--watch`` surfaces terminate cleanly without disturbing the plain
+``--status`` format older tooling parses.
+"""
+
+import io
+import json
+import os
+import subprocess
+import sys
+import threading
+from dataclasses import fields
+from pathlib import Path
+
+import pytest
+
+from repro.engine import CampaignGrid, CampaignWorker, ParallelEvaluator
+from repro.engine.backend import EngineStats
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_registry,
+    get_tracer,
+    set_registry,
+    span,
+    tracing_enabled,
+    validate_chrome_trace,
+)
+from repro.obs.dashboard import campaign_snapshot, render_dashboard, watch
+from repro.platform import LiquidPlatform
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    """Every test starts and ends with fresh process-global telemetry."""
+    disable_tracing()
+    set_registry(MetricsRegistry())
+    yield
+    disable_tracing()
+    set_registry(MetricsRegistry())
+
+
+def grid_configs(base_config, count=6):
+    configs = [
+        base_config.replace(dcache_sets=sets, dcache_setsize_kb=size)
+        for sets in (1, 2, 3)
+        for size in (1, 2, 4, 8)
+    ]
+    return configs[:count]
+
+
+@pytest.fixture()
+def fresh_arith():
+    """A workload with no memoized trace or decode: every span fires.
+
+    The session-scoped ``arith_small`` fixture caches its generated
+    trace and columnar decodes across the whole suite, so tests
+    asserting the *presence* of decode/trace_generation spans need a
+    private instance.
+    """
+    from repro.workloads import ArithWorkload
+    return ArithWorkload(iterations=200)
+
+
+# -- span tracer ---------------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_disabled_tracer_records_nothing(self):
+        assert not tracing_enabled()
+        with span("outer", key="value") as outer:
+            outer.set(more="attrs")  # no-op parity with the active span
+        assert get_tracer().records == []
+
+    def test_spans_nest_and_record_depth_and_attrs(self):
+        tracer = enable_tracing()
+        with span("outer", stage="a"):
+            with span("inner") as inner:
+                inner.set(rows=3)
+        names = {r.name: r for r in tracer.records}
+        assert set(names) == {"outer", "inner"}
+        assert names["outer"].depth == 0
+        assert names["inner"].depth == 1
+        assert names["outer"].attrs == {"stage": "a"}
+        assert names["inner"].attrs == {"rows": 3}
+        # inner closed first and fits inside outer
+        assert names["inner"].wall <= names["outer"].wall
+        assert names["outer"].pid == os.getpid()
+        assert names["outer"].tid == threading.get_ident()
+
+    def test_exception_is_recorded_and_depth_recovers(self):
+        tracer = enable_tracing()
+        with pytest.raises(ValueError):
+            with span("boom"):
+                raise ValueError("nope")
+        with span("after"):
+            pass
+        by_name = {r.name: r for r in tracer.records}
+        assert by_name["boom"].attrs["error"] == "ValueError"
+        assert by_name["after"].depth == 0
+
+    def test_drain_clears_and_absorb_merges(self):
+        worker = Tracer(enabled=True)
+        with worker.span("remote"):
+            pass
+        shipped = worker.drain()
+        assert [r.name for r in shipped] == ["remote"]
+        assert worker.records == []
+
+        host = enable_tracing()
+        with span("local"):
+            pass
+        host.absorb(shipped)
+        assert sorted(r.name for r in host.records) == ["local", "remote"]
+
+    def test_sink_streams_completed_records(self):
+        seen = []
+        enable_tracing(sink=seen.append)
+        with span("streamed"):
+            pass
+        assert [r.name for r in seen] == ["streamed"]
+
+    def test_chrome_export_validates_and_labels_lanes(self, tmp_path):
+        tracer = enable_tracing()
+        with span("work", rows=2):
+            pass
+        fake = tracer.records[0].__class__(
+            name="remote", ts=tracer.records[0].ts, wall=0.001, cpu=0.001,
+            depth=0, pid=os.getpid() + 1, tid=1, attrs={})
+        tracer.absorb([fake])
+        path = tmp_path / "trace.json"
+        count = tracer.export_chrome(str(path))
+        summary = validate_chrome_trace(str(path))
+        assert count == summary["events"]
+        assert summary["spans"] == 2
+        assert len(summary["pids"]) == 2
+        labels = {e["args"]["name"] for e in
+                  json.loads(path.read_text())["traceEvents"] if e["ph"] == "M"}
+        assert labels == {"host", f"worker {os.getpid() + 1}"}
+
+    def test_jsonl_export_is_one_record_per_line(self, tmp_path):
+        tracer = enable_tracing()
+        with span("a"):
+            pass
+        with span("b"):
+            pass
+        path = tmp_path / "trace.jsonl"
+        assert tracer.export_jsonl(str(path)) == 2
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [line["name"] for line in lines] == ["a", "b"]
+        assert all(line["pid"] == os.getpid() for line in lines)
+
+    def test_validate_rejects_malformed_traces(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"traceEvents": []}))
+        with pytest.raises(ValueError):
+            validate_chrome_trace(str(path))
+        path.write_text(json.dumps(
+            {"traceEvents": [{"name": "x", "ph": "X", "pid": 1}]}))
+        with pytest.raises(ValueError):
+            validate_chrome_trace(str(path))
+
+
+# -- metrics registry ----------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.counter("hits").inc(2)
+        registry.gauge("depth").set(7)
+        registry.histogram("bytes").observe(10)
+        registry.histogram("bytes").observe(30)
+        snap = registry.snapshot()
+        assert snap["hits"] == 3
+        assert snap["depth"] == 7
+        assert snap["bytes"]["count"] == 2
+        assert snap["bytes"]["total"] == 40
+        assert snap["bytes"]["min"] == 10
+        assert snap["bytes"]["max"] == 30
+
+    def test_kind_mismatch_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(TypeError):
+            registry.gauge("m")
+
+    def test_drain_resets_counters_and_histograms_keeps_gauges(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(4)
+        registry.counter("zero")  # never incremented: not shipped
+        registry.gauge("g").set(2)
+        registry.histogram("h").observe(1.5)
+        deltas = registry.drain()
+        assert set(deltas) == {"c", "g", "h"}
+        # counters/histograms reset so the next drain ships only new work
+        assert registry.snapshot()["c"] == 0
+        assert registry.snapshot()["h"]["count"] == 0
+        assert registry.snapshot()["g"] == 2
+        assert registry.drain().keys() == {"g"}
+
+    def test_merge_folds_deltas_by_kind(self):
+        home, away = MetricsRegistry(), MetricsRegistry()
+        home.counter("c").inc(1)
+        home.histogram("h").observe(5)
+        away.counter("c").inc(2)
+        away.gauge("g").set(9)
+        away.histogram("h").observe(3)
+        home.merge(away.drain())
+        snap = home.snapshot()
+        assert snap["c"] == 3
+        assert snap["g"] == 9
+        assert snap["h"]["count"] == 2
+        assert snap["h"]["min"] == 3
+        assert snap["h"]["max"] == 5
+
+    def test_render_text_lists_every_metric(self):
+        registry = MetricsRegistry()
+        registry.counter("runs").inc()
+        registry.histogram("size").observe(4)
+        text = registry.render_text()
+        assert "runs" in text and "size" in text and "count=1" in text
+
+
+# -- EngineStats as a typed view over the registry -----------------------------------------
+
+
+class TestEngineStatsRegistry:
+    def test_snapshot_keys_match_dataclass_fields(self):
+        """The satellite drift guard: the two surfaces cannot disagree."""
+        stats = EngineStats()
+        expected = {f.name for f in fields(EngineStats)} - {"registry"}
+        assert set(stats.snapshot()) == expected
+
+    def test_assignment_writes_through_to_gauges(self):
+        stats = EngineStats()
+        stats.requested = 17
+        stats.kernel_lane = "numpy"
+        assert stats.registry.snapshot()["engine.requested"] == 17
+        assert stats.snapshot()["requested"] == 17
+        assert stats.snapshot()["kernel_lane"] == "numpy"
+
+    def test_add_stage_feeds_sums_and_histograms(self):
+        stats = EngineStats()
+        stats.add_stage("decode", 0.5)
+        stats.add_stage("decode", 0.25)
+        assert stats.stage_seconds["decode"] == pytest.approx(0.75)
+        assert stats.snapshot()["stage_seconds"]["decode"] == pytest.approx(0.75)
+        histogram = stats.registry.snapshot()["stage.decode"]
+        assert histogram["count"] == 2
+        assert histogram["total"] == pytest.approx(0.75)
+
+    def test_as_dict_stays_scalar(self):
+        row = EngineStats().as_dict()
+        assert "stage_seconds" not in row
+        assert all(not isinstance(v, dict) for v in row.values())
+
+
+# -- cross-process tracing through the worker pool -----------------------------------------
+
+
+class TestCrossProcessTracing:
+    def test_pool_fanout_loses_no_spans_and_leaks_nothing(
+            self, tmp_path, base_config, fresh_arith):
+        before = set(os.listdir("/dev/shm")) if os.path.isdir("/dev/shm") else set()
+        tracer = enable_tracing()
+        configs = grid_configs(base_config)
+        with ParallelEvaluator(LiquidPlatform(), workers=2,
+                               arena_threshold=0) as evaluator:
+            evaluator.measure_sweep(fresh_arith, configs)
+            stats = evaluator.stats
+        disable_tracing()
+
+        by_name = {}
+        for record in tracer.records:
+            by_name.setdefault(record.name, []).append(record)
+        # every replayed configuration is accounted for by a replay span:
+        # a lost worker result would show up as a shortfall here
+        replayed = sum(r.attrs["configs"] for r in by_name.get("replay", []))
+        assert replayed == stats.cache_simulations
+        assert stats.parallel_simulations > 0
+        # the arena path decodes once on the host, replays in the workers
+        host = os.getpid()
+        assert {r.pid for r in by_name["decode"]} == {host}
+        worker_pids = {r.pid for r in by_name["replay"]}
+        assert host not in worker_pids and len(worker_pids) >= 1
+        assert len({r.pid for r in tracer.records}) >= 2
+        for stage in ("trace_generation", "cache_simulation", "sweep_evaluate",
+                      "arena_publish", "publish", "solve"):
+            assert stage in by_name, f"missing '{stage}' spans"
+
+        # worker metric deltas merged home alongside the spans
+        assert stats.registry.snapshot()["arena.publishes"] > 0
+
+        path = tmp_path / "sweep.json"
+        tracer.export_chrome(str(path))
+        summary = validate_chrome_trace(str(path))
+        assert summary["spans"] == len(tracer.records)
+        assert len(summary["pids"]) >= 2
+
+        # close() tore down the pool and every shared-memory segment
+        assert stats.arena_segments == 0
+        if os.path.isdir("/dev/shm"):
+            assert set(os.listdir("/dev/shm")) - before == set()
+
+    def test_pool_respawns_when_tracing_toggles(self, base_config, arith_small):
+        configs = grid_configs(base_config, 4)
+        with ParallelEvaluator(LiquidPlatform(), workers=2,
+                               arena_threshold=0) as evaluator:
+            evaluator.measure_sweep(arith_small, configs)
+            assert get_tracer().records == []
+            tracer = enable_tracing()
+            evaluator.measure_sweep(
+                arith_small, grid_configs(base_config, 6)[4:])
+            assert any(r.name == "replay" and r.pid != os.getpid()
+                       for r in tracer.records)
+
+
+class TestSpanTreeTiming:
+    def test_stage_spans_reconcile_with_stage_seconds(
+            self, base_config, fresh_arith):
+        tracer = enable_tracing()
+        configs = grid_configs(base_config)
+        with ParallelEvaluator(LiquidPlatform(), workers=1) as evaluator:
+            evaluator.measure_sweep(fresh_arith, configs)
+            stats = evaluator.stats
+        spans = {}
+        for record in tracer.records:
+            spans[record.name] = spans.get(record.name, 0.0) + record.wall
+        for stage in ("trace_generation", "cache_simulation", "sweep_evaluate"):
+            assert stage in stats.stage_seconds
+            # the span and the stage share one timed region; the span
+            # closes a hair later, so it may only exceed by bookkeeping
+            assert spans[stage] >= stats.stage_seconds[stage]
+            assert spans[stage] - stats.stage_seconds[stage] < 0.05
+
+
+# -- campaign heartbeats and the dashboard -------------------------------------------------
+
+
+class TestHeartbeats:
+    def test_heartbeat_upserts_one_row_per_worker(self, tmp_path):
+        with CampaignGrid(str(tmp_path / "grid.sqlite")) as grid:
+            grid.heartbeat("w1", batches=1, claimed=4, done=2,
+                           rows_per_sec=1.5)
+            grid.heartbeat("w1", batches=2, claimed=8, done=8,
+                           rows_per_sec=2.5, engine={"workers": 2})
+            grid.heartbeat("w2", done=1)
+            beats = grid.worker_heartbeats()
+        assert {b["worker"] for b in beats} == {"w1", "w2"}
+        w1 = next(b for b in beats if b["worker"] == "w1")
+        assert (w1["batches"], w1["done"], w1["rows_per_sec"]) == (2, 8, 2.5)
+        assert w1["engine"] == {"workers": 2}
+        assert w1["pid"] == os.getpid()
+
+    def test_worker_run_persists_heartbeats(self, tmp_path, base_config,
+                                            arith_small):
+        with CampaignGrid(str(tmp_path / "grid.sqlite")) as grid:
+            grid.register(arith_small, grid_configs(base_config, 4))
+            with CampaignWorker(grid, [arith_small], worker_id="beater",
+                                workers=1, heartbeat_seconds=0.01) as worker:
+                report = worker.run()
+            beats = grid.worker_heartbeats()
+        assert report.done == 4
+        assert len(beats) == 1
+        # the final forced beat carries the full campaign outcome
+        assert beats[0]["done"] == 4
+        assert beats[0]["failed"] == 0
+        assert beats[0]["engine"]["requested"] >= 4
+
+
+class TestDashboard:
+    def _grid_with_progress(self, tmp_path, base_config, workload):
+        grid = CampaignGrid(str(tmp_path / "grid.sqlite"))
+        grid.register(workload, grid_configs(base_config, 4))
+        return grid
+
+    def test_snapshot_counts_workers_and_staleness(self, tmp_path, base_config,
+                                                   arith_small):
+        with self._grid_with_progress(tmp_path, base_config,
+                                      arith_small) as grid:
+            grid.heartbeat("live", done=1, rows_per_sec=2.0)
+            grid.heartbeat("dead", done=1, rows_per_sec=4.0)
+            now = grid.worker_heartbeats()[0]["ts"]
+            stale_ts = now - 1000
+            grid._conn.execute(
+                "UPDATE heartbeats SET ts = ? WHERE worker = 'dead'",
+                (stale_ts,))
+            grid._conn.commit()
+            snapshot = campaign_snapshot(grid, stale_after=300, now=now)
+        assert snapshot["counts"]["open"] == 4
+        workers = {w["worker"]: w for w in snapshot["workers"]}
+        assert workers["live"]["stale"] is False
+        assert workers["dead"]["stale"] is True
+        # stale workers don't contribute to throughput or the ETA
+        assert snapshot["rows_per_sec"] == pytest.approx(2.0)
+        assert snapshot["eta_seconds"] == pytest.approx(4 / 2.0)
+
+    def test_render_mentions_counts_workers_and_stale_flag(
+            self, tmp_path, base_config, arith_small):
+        with self._grid_with_progress(tmp_path, base_config,
+                                      arith_small) as grid:
+            grid.heartbeat("w1", done=2, rows_per_sec=1.0)
+            snapshot = campaign_snapshot(grid, stale_after=300)
+            snapshot["workers"][0]["stale"] = True
+            text = render_dashboard(snapshot)
+        assert "4 open" in text
+        assert "w1" in text and "STALE" in text
+        assert "arith" in text
+
+    def test_watch_honours_refresh_budget_and_detects_drain(
+            self, tmp_path, base_config, arith_small):
+        with self._grid_with_progress(tmp_path, base_config,
+                                      arith_small) as grid:
+            stream = io.StringIO()
+            snapshot = watch(grid, interval=0.0, max_refreshes=2,
+                             stream=stream, clear=False)
+            assert snapshot["counts"]["open"] == 4
+            assert stream.getvalue().count("campaign grid") == 2
+
+            grid._conn.execute("UPDATE experiments SET status = 'done'")
+            grid._conn.commit()
+            stream = io.StringIO()
+            watch(grid, interval=0.0, stream=stream, clear=False)
+            assert "grid drained." in stream.getvalue()
+
+
+# -- the CLI surfaces ----------------------------------------------------------------------
+
+
+class TestObservabilityCli:
+    def _run(self, *argv, timeout=180):
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        return subprocess.run(
+            [sys.executable, str(REPO_ROOT / "scripts" / "run_experiments.py"),
+             *argv],
+            env=env, capture_output=True, text=True, timeout=timeout)
+
+    def _registered(self, tmp_path):
+        db = str(tmp_path / "cli.sqlite")
+        register = self._run("--grid-db", db, "--register",
+                             "--grid-scale", "small",
+                             "--grid-workloads", "arith")
+        assert register.returncode == 0, register.stderr
+        return db
+
+    def test_status_json_is_machine_readable(self, tmp_path):
+        db = self._registered(tmp_path)
+        result = self._run("--grid-db", db, "--status", "--json")
+        assert result.returncode == 0, result.stderr
+        snapshot = json.loads(result.stdout)
+        assert snapshot["counts"]["open"] > 0
+        assert snapshot["workers"] == []
+
+    def test_plain_status_format_is_unchanged(self, tmp_path):
+        db = self._registered(tmp_path)
+        result = self._run("--grid-db", db, "--status")
+        assert result.returncode == 0, result.stderr
+        assert "status:" in result.stdout and "open" in result.stdout
+
+    def test_watch_terminates_on_refresh_budget(self, tmp_path):
+        db = self._registered(tmp_path)
+        result = self._run("--grid-db", db, "--status", "--watch",
+                           "--interval", "0.1", "--watch-max", "2")
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.count("campaign grid") == 2
+
+    def test_json_and_watch_require_status(self, tmp_path):
+        db = str(tmp_path / "cli.sqlite")
+        assert self._run("--grid-db", db, "--json").returncode != 0
+        assert self._run("--grid-db", db, "--watch").returncode != 0

@@ -1,0 +1,160 @@
+"""The benchmark trajectory merger and its CI drift gate.
+
+``benchmarks/trajectory.py`` folds every ``BENCH_*.json`` artifact into
+one committed ``TRAJECTORY.json``.  These tests pin the schema rules
+(boolean ``smoke`` flag, at least one ``configs_per_sec`` column,
+numbers only) and the asymmetric check semantics: structure -- source
+names, column keys, smoke flags -- is pinned for every source, but
+*values* are pinned only for full-scale sources, because CI re-measures
+the smoke artifacts on every run.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture()
+def trajectory(monkeypatch, tmp_path):
+    """The trajectory module, pointed at an isolated artifact directory."""
+    spec = importlib.util.spec_from_file_location(
+        "trajectory_under_test", REPO_ROOT / "benchmarks" / "trajectory.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    monkeypatch.setattr(module, "BENCH_DIR", tmp_path)
+    monkeypatch.setattr(module, "TRAJECTORY_PATH", tmp_path / "TRAJECTORY.json")
+    return module
+
+
+def write_artifact(directory, name, payload):
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def full_artifact(value=100.0):
+    return {"smoke": False, "points": 9,
+            "sweep": {"configs_per_sec": value}}
+
+
+def smoke_artifact(value=10.0):
+    return {"smoke": True, "sweep": {"configs_per_sec": value}}
+
+
+def commit(trajectory):
+    trajectory.TRAJECTORY_PATH.write_text(
+        json.dumps(trajectory.build_trajectory(), indent=2, sort_keys=True))
+
+
+class TestSchema:
+    def test_columns_are_collected_by_dotted_path(self, trajectory):
+        columns = trajectory.collect_columns({
+            "configs_per_sec": 1.0,
+            "traced": {"configs_per_sec": 2.0},
+            "runs": [{"configs_per_sec": 3.0}],
+        })
+        assert columns == {"configs_per_sec": 1.0,
+                           "traced.configs_per_sec": 2.0,
+                           "runs[0].configs_per_sec": 3.0}
+
+    def test_non_numeric_column_is_rejected(self, trajectory, tmp_path):
+        write_artifact(tmp_path, "bad",
+                       {"smoke": False, "configs_per_sec": "fast"})
+        with pytest.raises(ValueError, match="must be a number"):
+            trajectory.build_trajectory()
+
+    def test_missing_smoke_flag_is_rejected(self, trajectory, tmp_path):
+        write_artifact(tmp_path, "bad", {"configs_per_sec": 1.0})
+        with pytest.raises(ValueError, match="smoke"):
+            trajectory.build_trajectory()
+
+    def test_artifact_without_columns_is_rejected(self, trajectory, tmp_path):
+        write_artifact(tmp_path, "bad", {"smoke": False, "seconds": 2.0})
+        with pytest.raises(ValueError, match="configs_per_sec"):
+            trajectory.build_trajectory()
+
+    def test_source_names_strip_the_artifact_wrapper(self, trajectory,
+                                                     tmp_path):
+        write_artifact(tmp_path, "sweep", full_artifact())
+        write_artifact(tmp_path, "sweep.smoke", smoke_artifact())
+        built = trajectory.build_trajectory()
+        assert sorted(built["sources"]) == ["sweep", "sweep.smoke"]
+        assert built["sources"]["sweep"]["smoke"] is False
+        assert built["sources"]["sweep.smoke"]["smoke"] is True
+
+
+class TestCheck:
+    def test_round_trip_is_consistent(self, trajectory, tmp_path, capsys):
+        write_artifact(tmp_path, "sweep", full_artifact())
+        commit(trajectory)
+        assert trajectory.check(trajectory.build_trajectory()) == 0
+        assert "consistent" in capsys.readouterr().out
+
+    def test_missing_committed_file_fails_with_fix(self, trajectory, tmp_path,
+                                                   capsys):
+        write_artifact(tmp_path, "sweep", full_artifact())
+        assert trajectory.check(trajectory.build_trajectory()) == 1
+        assert "--write" in capsys.readouterr().out
+
+    def test_new_and_vanished_sources_fail(self, trajectory, tmp_path, capsys):
+        write_artifact(tmp_path, "sweep", full_artifact())
+        commit(trajectory)
+        write_artifact(tmp_path, "obs", full_artifact(50.0))
+        assert trajectory.check(trajectory.build_trajectory()) == 1
+        assert "BENCH_obs.json is new" in capsys.readouterr().out
+
+        (tmp_path / "BENCH_obs.json").unlink()
+        (tmp_path / "BENCH_sweep.json").unlink()
+        write_artifact(tmp_path, "obs", full_artifact(50.0))
+        commit(trajectory)
+        write_artifact(tmp_path, "sweep", full_artifact())
+        (tmp_path / "BENCH_obs.json").unlink()
+        assert trajectory.check(trajectory.build_trajectory()) == 1
+        assert "is gone" in capsys.readouterr().out
+
+    def test_column_drift_fails_for_full_scale_sources(self, trajectory,
+                                                       tmp_path, capsys):
+        write_artifact(tmp_path, "sweep", full_artifact(100.0))
+        commit(trajectory)
+        write_artifact(tmp_path, "sweep", full_artifact(120.0))
+        assert trajectory.check(trajectory.build_trajectory()) == 1
+        assert "drifted" in capsys.readouterr().out
+
+    def test_smoke_value_changes_are_allowed(self, trajectory, tmp_path):
+        write_artifact(tmp_path, "sweep.smoke", smoke_artifact(10.0))
+        commit(trajectory)
+        write_artifact(tmp_path, "sweep.smoke", smoke_artifact(99.0))
+        assert trajectory.check(trajectory.build_trajectory()) == 0
+
+    def test_smoke_structure_is_still_pinned(self, trajectory, tmp_path,
+                                             capsys):
+        write_artifact(tmp_path, "sweep.smoke", smoke_artifact())
+        commit(trajectory)
+        payload = smoke_artifact()
+        payload["extra"] = {"configs_per_sec": 5.0}
+        write_artifact(tmp_path, "sweep.smoke", payload)
+        assert trajectory.check(trajectory.build_trajectory()) == 1
+        assert "not committed" in capsys.readouterr().out
+
+    def test_smoke_flag_flip_fails(self, trajectory, tmp_path, capsys):
+        write_artifact(tmp_path, "sweep", full_artifact())
+        commit(trajectory)
+        artifact = full_artifact()
+        artifact["smoke"] = True
+        write_artifact(tmp_path, "sweep", artifact)
+        assert trajectory.check(trajectory.build_trajectory()) == 1
+        assert "smoke flag changed" in capsys.readouterr().out
+
+
+class TestRepositoryTrajectory:
+    def test_committed_trajectory_matches_artifacts(self):
+        """The repo's own TRAJECTORY.json is in sync (same gate CI runs)."""
+        spec = importlib.util.spec_from_file_location(
+            "trajectory_repo", REPO_ROOT / "benchmarks" / "trajectory.py")
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert module.check(module.build_trajectory()) == 0
