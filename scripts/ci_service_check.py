@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""End-to-end checks against a *live* tuning service (CI ``service`` job).
+
+Expects a server already listening (``run_experiments.py --serve``);
+this script is purely a client plus one local re-computation.  Two
+subcommands, run in sequence by the workflow:
+
+``sweep``
+    Submits the default Figure-2 sweep for ``--workload``, waits for
+    it, recomputes the same sweep with a direct in-process
+    ``measure_sweep`` (no store, no service) and asserts the wire
+    records are bit-identical.  Then resubmits the identical sweep and
+    asserts **zero new evaluations**: ``cache_simulations`` and
+    ``store_writes`` in ``/metrics`` are unchanged, and the second
+    job's results equal the first's byte for byte.
+
+``respawn``
+    Run *after* the workflow SIGKILLs one of the server's pool worker
+    processes.  Submits a sweep for the *same* workload over fresh
+    configurations -- same workload so the resident pool (whose dead
+    worker is the point) is reused rather than rebuilt for a new trace
+    payload, fresh configurations so the memo/store layers cannot
+    answer and the pool must actually run.  Asserts the supervisor
+    noticed and recovered: the job is ``done`` with a full result set
+    and ``/metrics`` reports ``pool_breaks >= 1`` and
+    ``supervisor.restarts >= 1``.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.engine import ParallelEvaluator, ResultStore  # noqa: E402
+from repro.platform import LiquidPlatform  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+from repro.service.server import figure2_grid  # noqa: E402
+from repro.workloads import small_workloads, standard_workloads  # noqa: E402
+
+
+def _canon(records):
+    return json.dumps(records, sort_keys=True)
+
+
+def check_sweep(client, args):
+    before = client.metrics()["engine"]
+    first = client.wait(client.submit_sweep(args.workload)["id"],
+                        timeout=args.timeout)
+    assert first["status"] == "done", first
+    mid = client.metrics()["engine"]
+
+    # the same sweep, recomputed from scratch in this process
+    platform = LiquidPlatform()
+    registry = (small_workloads() if args.scale == "small"
+                else standard_workloads())
+    workload = registry[args.workload]
+    configs = figure2_grid(platform)
+    assert first["total"] == len(configs), (first["total"], len(configs))
+    store = ResultStore()
+    with ParallelEvaluator(platform, workers=1, store=store) as direct:
+        expected = [store.encode(workload, measurement)
+                    for measurement in direct.measure_sweep(workload, configs)]
+    assert _canon(first["results"]) == _canon(expected), (
+        "served sweep differs from a direct measure_sweep")
+
+    # identical resubmit: answered from memo/store, zero new evaluations
+    second = client.wait(client.submit_sweep(args.workload)["id"],
+                         timeout=args.timeout)
+    after = client.metrics()["engine"]
+    assert after["cache_simulations"] == mid["cache_simulations"], (
+        "resubmitted sweep re-simulated", mid, after)
+    assert after["store_writes"] == mid["store_writes"], (
+        "resubmitted sweep wrote new rows", mid, after)
+    assert _canon(second["results"]) == _canon(first["results"])
+    print(f"sweep ok: {len(expected)} records bit-identical to direct "
+          f"measure_sweep; resubmit cost 0 new evaluations "
+          f"({after['cache_simulations']} simulations total, was "
+          f"{before['cache_simulations']} before the first job)")
+
+
+def check_respawn(client, args):
+    # the Figure-2 grid the sweep check drained varies only the dcache
+    # geometry, so varying icache_sets yields buildable rows no memo or
+    # store layer can answer
+    fresh = [{"icache_sets": sets} for sets in (2, 3, 4)]
+    job = client.wait(
+        client.submit_sweep(args.workload, configs=fresh)["id"],
+        timeout=args.timeout)
+    assert job["status"] == "done", job
+    assert len(job["results"]) == job["total"] > 0, job
+    metrics = client.metrics()
+    breaks = metrics["engine"]["pool_breaks"]
+    restarts = metrics["supervisor"]["restarts"]
+    assert breaks >= 1, f"pool break not observed (pool_breaks={breaks})"
+    assert restarts >= 1, f"supervisor never respawned (restarts={restarts})"
+    print(f"respawn ok: job completed {job['total']}/{job['total']} after a "
+          f"SIGKILLed worker (pool_breaks={breaks}, "
+          f"supervisor_restarts={restarts})")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("check", choices=("sweep", "respawn"))
+    parser.add_argument("--url", default="http://127.0.0.1:8023")
+    parser.add_argument("--workload", default="blastn")
+    parser.add_argument("--scale", default="small",
+                        choices=("small", "standard"),
+                        help="must match the server's --scale")
+    parser.add_argument("--timeout", type=float, default=600.0)
+    args = parser.parse_args(argv)
+
+    client = ServiceClient(args.url)
+    assert client.health(), f"no live service at {args.url}"
+    (check_sweep if args.check == "sweep" else check_respawn)(client, args)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,6 +31,13 @@ failed rows with a fresh attempt budget.  Results land in the same
 database's ``measurements`` table, bit-identical to a direct
 ``measure_sweep``.
 
+Resident service mode (``--serve``) turns the process into the
+always-on tuning service: ``POST /sweep`` and ``POST /tune`` jobs run
+on ONE supervised resident evaluator (pool respawn with backoff after
+worker crashes, graceful SIGTERM drain), repeat queries answer from the
+store by trace fingerprint, and with ``--grid-db`` sweep jobs become
+campaign rows drained cooperatively with any CLI ``--claim`` workers.
+
 Observability: ``--trace out.json`` records nested wall/CPU spans of
 every pipeline stage -- across the worker pool, with per-process lanes
 -- and writes a Chrome trace-event file loadable in Perfetto
@@ -42,14 +49,13 @@ from __future__ import annotations
 
 import argparse
 import contextlib
-import itertools
 import json
 import os
 import sys
 import time
 
-from repro.config import CACHE_SET_COUNTS, CACHE_SET_SIZES_KB, base_configuration
 from repro.engine import CampaignGrid, CampaignWorker, ParallelEvaluator, open_store
+from repro.service.server import figure2_grid
 from repro.obs import enable_tracing, get_tracer
 from repro.platform import LiquidPlatform
 from repro.workloads import phase_scenarios, small_workloads, standard_workloads
@@ -177,15 +183,42 @@ def parse_args() -> argparse.Namespace:
     grid.add_argument(
         "--max-batches", type=int, default=None,
         help="stop the worker after this many claim batches (default: drain)")
+    service = parser.add_argument_group(
+        "resident tuning service",
+        "serve POST /sweep, POST /tune, GET /jobs/<id> and GET /metrics over "
+        "one resident supervised evaluator until SIGTERM")
+    service.add_argument(
+        "--serve", action="store_true",
+        help="run the always-on tuning service instead of the experiment "
+             "suite; honours --workers, --store and --scale, and with "
+             "--grid-db runs sweep jobs as campaign rows shared with "
+             "--claim workers")
+    service.add_argument(
+        "--host", default="127.0.0.1",
+        help="service bind address (default: 127.0.0.1)")
+    service.add_argument(
+        "--port", type=int, default=8023,
+        help="service port (default: 8023; 0 picks an ephemeral port)")
+    service.add_argument(
+        "--serve-arena", choices=("auto", "force", "off"), default="auto",
+        help="shared-memory trace arena policy for the resident evaluator "
+             "(auto: per-host cost model may answer small batches inline; "
+             "off: no arena but every eligible batch uses the pool -- the "
+             "deterministic choice the CI service job kills workers under)")
     args = parser.parse_args()
     if args.profile and args.sequential:
         parser.error("--profile requires the engine backend; drop --sequential")
     campaign_actions = (args.register, args.claim, args.status, args.reset_failed)
     if any(campaign_actions) and not args.grid_db:
         parser.error("campaign actions require --grid-db PATH")
-    if args.grid_db and not any(campaign_actions):
-        parser.error("--grid-db requires --register, --claim, --status "
-                     "and/or --reset-failed")
+    if args.grid_db and not any(campaign_actions) and not args.serve:
+        parser.error("--grid-db requires --register, --claim, --status, "
+                     "--reset-failed and/or --serve")
+    if args.serve and any(campaign_actions):
+        parser.error("--serve runs its own campaign worker; drop "
+                     "--register/--claim/--status/--reset-failed")
+    if args.serve and args.sequential:
+        parser.error("--serve requires the engine backend; drop --sequential")
     if (args.json or args.watch) and not args.status:
         parser.error("--json/--watch modify --status; add --status")
     if args.json and args.watch:
@@ -234,16 +267,6 @@ def export_trace(path: str) -> None:
         count = tracer.export_chrome(path)
         print(f"trace: {count} events -> {path} "
               "(load in https://ui.perfetto.dev)")
-
-
-def figure2_grid(platform: LiquidPlatform):
-    """The buildable Figure-2 dcache {sets x set size} configuration grid."""
-    base = base_configuration()
-    configs = [
-        base.replace(dcache_sets=sets, dcache_setsize_kb=size)
-        for sets, size in itertools.product(CACHE_SET_COUNTS, CACHE_SET_SIZES_KB)
-    ]
-    return [config for config in configs if platform.fits(config)]
 
 
 def campaign_main(args: argparse.Namespace) -> None:
@@ -350,7 +373,15 @@ def main() -> None:
     if args.trace:
         enable_tracing()
     try:
-        if args.grid_db:
+        if args.serve:
+            from repro.service.server import serve
+
+            serve(host=args.host, port=args.port, workers=args.workers,
+                  scale=args.scale, store_path=args.store,
+                  grid_path=args.grid_db,
+                  arena={"auto": None, "force": True,
+                         "off": False}[args.serve_arena])
+        elif args.grid_db:
             campaign_main(args)
         elif args.only == "fig2":
             suite_fig2(args)

@@ -23,6 +23,7 @@ from repro.engine.arena import (
 from repro.engine.backend import EngineStats, EvaluationBackend
 from repro.engine.campaign import CampaignGrid, CampaignReport, CampaignWorker
 from repro.engine.parallel import ParallelEvaluator
+from repro.engine.supervisor import EvaluatorSupervisor, SupervisorStopped
 from repro.engine.store import (
     ResultStore,
     ResultStoreBase,
@@ -40,7 +41,9 @@ __all__ = [
     "CampaignWorker",
     "EngineStats",
     "EvaluationBackend",
+    "EvaluatorSupervisor",
     "ParallelEvaluator",
+    "SupervisorStopped",
     "TraceArena",
     "arena_available",
     "calibrate_threshold",

@@ -170,6 +170,17 @@ class EngineStats:
     claim_rows: int = 0
     claim_conflicts: int = 0
     claim_requeues: int = 0
+    #: Worker-pool lifecycle accounting of a resident evaluator: process
+    #: pools spawned over the evaluator's lifetime (a long-lived service
+    #: respawns after workload changes or pool failures), pools lost to
+    #: ``BrokenProcessPool``/``OSError`` (the batch that observed the
+    #: break completed inline), and supervised restarts performed by an
+    #: :class:`~repro.engine.supervisor.EvaluatorSupervisor` (each one
+    #: paid a backoff delay; capped, after which the supervisor degrades
+    #: the evaluator to inline-only).
+    pool_spawns: int = 0
+    pool_breaks: int = 0
+    supervisor_restarts: int = 0
     #: Resolved cache-kernel replay lane of the most recent batch
     #: (``crossconfig``/``numpy``/``jit``; see
     #: :func:`~repro.microarch.cachekernel.kernel_lane`).

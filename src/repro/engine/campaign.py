@@ -592,6 +592,7 @@ class CampaignWorker:
         heartbeat_seconds: float = 15.0,
         platform: Optional[LiquidPlatform] = None,
         store: Optional[SqliteResultStore] = None,
+        evaluator=None,
     ):
         self.grid = grid
         self.worker_id = worker_id or default_worker_id()
@@ -602,12 +603,26 @@ class CampaignWorker:
         self.heartbeat_seconds = max(0.0, heartbeat_seconds)
         self._loop_start = 0.0
         self._last_beat = 0.0
-        self.platform = platform or LiquidPlatform()
-        self.store = store or SqliteResultStore(
-            grid.path, device=self.platform.device,
-            timing_parameters=self.platform.timing_parameters)
-        self.evaluator = ParallelEvaluator(
-            self.platform, workers=workers, store=self.store)
+        if evaluator is not None:
+            # a resident engine (e.g. the tuning service's supervised
+            # evaluator) drains the grid: its store must already write
+            # into the campaign database so results land where claims do
+            if evaluator.store is None:
+                raise ValueError(
+                    "an injected campaign evaluator needs a store bound "
+                    "to the campaign database")
+            self.platform = evaluator.platform
+            self.store = evaluator.store
+            self.evaluator = evaluator
+            self._owns_evaluator = False
+        else:
+            self.platform = platform or LiquidPlatform()
+            self.store = store or SqliteResultStore(
+                grid.path, device=self.platform.device,
+                timing_parameters=self.platform.timing_parameters)
+            self.evaluator = ParallelEvaluator(
+                self.platform, workers=workers, store=self.store)
+            self._owns_evaluator = True
         grid.bind_platform(self.platform.device, self.platform.timing_parameters)
         #: fingerprint -> workload this worker can evaluate (fingerprinting
         #: generates each trace once; the evaluations need it anyway)
@@ -618,8 +633,13 @@ class CampaignWorker:
     # -- lifecycle -------------------------------------------------------------------------
 
     def close(self) -> None:
-        """Shut down the evaluator pool/arena (the grid stays open)."""
-        self.evaluator.close()
+        """Shut down an owned evaluator pool/arena (the grid stays open).
+
+        Injected evaluators belong to their supervisor/service and stay
+        resident across many drains; closing is the owner's job.
+        """
+        if self._owns_evaluator:
+            self.evaluator.close()
 
     def __enter__(self) -> "CampaignWorker":
         return self

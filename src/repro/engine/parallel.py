@@ -30,8 +30,10 @@ per process) and replays the whole configuration list against it.
 
 from __future__ import annotations
 
+import logging
 import math
 import os
+import signal
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
@@ -71,6 +73,8 @@ from repro.workloads.phased import PhasedWorkload
 
 __all__ = ["ParallelEvaluator"]
 
+_LOG = logging.getLogger(__name__)
+
 #: Per-worker trace registry, populated by the pool initializer.  Values are
 #: either the pickled ``(pcs, data_addresses, data_is_write)`` arrays or an
 #: :class:`~repro.engine.arena.ArenaBlock` naming the shared-memory segment
@@ -97,6 +101,13 @@ def _init_worker(
     tracing: bool = False,
 ) -> None:
     global _WORKER_TRACES, _WORKER_PHASES, _WORKER_VIEWS, _WORKER_PHASE_VIEWS
+    # fork-started workers inherit the parent's signal handlers; a resident
+    # server routes SIGTERM/SIGINT into a graceful-drain flag, and a worker
+    # that inherits that handler swallows the executor's own terminate()
+    # during broken-pool cleanup and parks forever.  Workers are anonymous
+    # compute processes: restore the default dispositions.
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_DFL)
     _WORKER_TRACES = traces
     _WORKER_PHASES = phases or {}
     _WORKER_VIEWS = {}
@@ -293,6 +304,12 @@ class ParallelEvaluator:
         self._arena: Optional[TraceArena] = None
         #: Published decoded views: (fingerprint, kind, linesize) -> ArenaBlock.
         self._view_blocks: Dict[Tuple[str, str, int], ArenaBlock] = {}
+        #: Observer invoked after a worker pool is lost to
+        #: ``BrokenProcessPool``/``OSError`` (the batch that saw the break
+        #: has already completed inline by then).  A supervisor installs
+        #: its restart/backoff policy here; the evaluator itself only
+        #: accounts the break and respawns lazily on the next batch.
+        self.pool_break_hook: Optional[Any] = None
 
     def _get_arena(self) -> Optional[TraceArena]:
         """The live arena, created lazily; ``None`` when unavailable/disabled."""
@@ -306,20 +323,53 @@ class ParallelEvaluator:
                 return None
         return self._arena
 
-    def _shutdown_pool(self) -> None:
+    def _shutdown_pool(self, *, wait: bool = True) -> None:
         """Stop the worker pool only (arena segments stay published)."""
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            self._pool.shutdown(wait=wait)
             self._pool = None
 
-    def close(self) -> None:
+    def _pool_failed(self) -> None:
+        """A worker pool died mid-batch: account the break, drop the pool.
+
+        ``wait=False``: the broken executor's processes are gone (or
+        wedged); joining them is exactly the hang this path exists to
+        avoid.  The next batch respawns lazily -- published arena
+        segments stay up, so the respawned workers re-attach the same
+        views without a republish.
+
+        The dead worker's *siblings* are killed explicitly: when the
+        executor's manager thread loses the race against our
+        ``shutdown(wait=False)``, a surviving worker never receives its
+        exit sentinel and parks on the call queue forever -- and the
+        non-daemon manager thread joining it then blocks interpreter
+        exit (a resident server that "stopped" but never exits).  Their
+        results are discarded either way, so SIGKILL is safe.
+        """
+        self.stats.pool_breaks += 1
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            # capture the workers BEFORE shutdown(): the executor drops its
+            # _processes reference there even with wait=False
+            survivors = list((getattr(pool, "_processes", None) or {}).values())
+            pool.shutdown(wait=False)
+            for process in survivors:
+                try:
+                    if process.is_alive():
+                        process.kill()
+                except (OSError, ValueError):  # already reaped / closed handle
+                    pass
+
+    def close(self, *, wait: bool = True) -> None:
         """Shut down the worker pool and unlink every arena segment.
 
         The evaluator stays usable: pools restart lazily and traces/views
         are republished on the next batch.  After this call no shared
         memory segment published by this evaluator exists on the host.
+        ``wait=False`` skips joining the worker processes (the finalizer
+        path: joining from ``__del__`` can block interpreter teardown).
         """
-        self._shutdown_pool()
+        self._shutdown_pool(wait=wait)
         if self._arena is not None:
             self._arena.close()
             self._arena = None
@@ -337,10 +387,16 @@ class ParallelEvaluator:
         self.close()
 
     def __del__(self):  # pragma: no cover - interpreter shutdown ordering varies
+        # never join workers from a finalizer: GC (or interpreter
+        # teardown) must not block on pool shutdown -- explicit close()
+        # keeps waiting, the finalizer only swallows and logs
         try:
-            self.close()
-        except Exception:
-            pass
+            self.close(wait=False)
+        except Exception as exc:
+            try:
+                _LOG.debug("evaluator finalizer teardown failed: %r", exc)
+            except Exception:
+                pass
 
     def _ensure_pool(
         self,
@@ -372,6 +428,7 @@ class ParallelEvaluator:
                 initializer=_init_worker,
                 initargs=(self._pool_traces, self._pool_phases, tracing),
             )
+            self.stats.pool_spawns += 1
         return self._pool
 
     def _sync_arena_stats(self) -> None:
@@ -701,12 +758,14 @@ class ParallelEvaluator:
                     self.stats.phase_decodes += decodes
                     self.stats.add_stage("phase_decode", decode_seconds)
         except (OSError, BrokenProcessPool):
-            # pragma: no cover - restricted sandboxes or killed workers
-            self._shutdown_pool()
+            # restricted sandboxes or killed workers: finish inline
+            self._pool_failed()
             self._decode_phase_views(workload, jobs)
             for job in jobs:
                 if job not in completed:
                     completed[job] = self.platform.simulate_phase_chain(workload, job)
+            if self.pool_break_hook is not None:
+                self.pool_break_hook()
         # deterministic merge: install in request order, not completion order
         for job in jobs:
             self.platform.install_phase_run(job, completed[job])
@@ -868,12 +927,14 @@ class ParallelEvaluator:
                     self.stats.add_stage("worker_decode", decode_seconds)
             self.stats.parallel_simulations += len(jobs)
         except (OSError, BrokenProcessPool):
-            # pragma: no cover - restricted sandboxes or killed workers
-            self._shutdown_pool()
+            # restricted sandboxes or killed workers: finish inline
+            self._pool_failed()
             for job in jobs:
                 if job not in completed:
                     completed[job] = self.platform.simulate_cache_job(
                         workloads_by_key[job[0]], job)
+            if self.pool_break_hook is not None:
+                self.pool_break_hook()
         # deterministic merge: install in request order, not completion order
         for job in jobs:
             self.platform.install_cache_run(job, completed[job])

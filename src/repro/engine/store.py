@@ -32,6 +32,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import random
 import sqlite3
 import time
 from typing import Any, Callable, Dict, Optional, Tuple, TypeVar
@@ -82,12 +83,19 @@ def connect_sqlite(path: str, *, busy_timeout_ms: int = 10_000) -> sqlite3.Conne
     * ``busy_timeout``: a writer that meets another writer's lock waits
       it out inside SQLite instead of raising ``database is locked``
       immediately (the :func:`busy_retry` wrapper handles the residual
-      timeouts under heavy claim contention).
+      timeouts under heavy claim contention);
+    * ``check_same_thread=False``: the tuning service constructs its
+      store/grid on the main thread but drains jobs on its executor
+      thread (and answers ``/metrics`` reads from handler threads) --
+      safe because this interpreter's ``sqlite3`` is built serialized
+      (``sqlite3.threadsafety == 3``), which we assert rather than
+      silently hand out an unprotected connection.
     """
     directory = os.path.dirname(path)
     if directory:
         os.makedirs(directory, exist_ok=True)
-    conn = sqlite3.connect(path)
+    share = sqlite3.threadsafety == 3
+    conn = sqlite3.connect(path, check_same_thread=not share)
     conn.execute("PRAGMA journal_mode=WAL")
     conn.execute("PRAGMA synchronous=NORMAL")
     conn.execute(f"PRAGMA busy_timeout={int(busy_timeout_ms)}")
@@ -99,20 +107,33 @@ def busy_retry(
     *,
     attempts: int = 6,
     base_delay: float = 0.05,
+    max_delay: float = 2.0,
     on_conflict: Optional[Callable[[], None]] = None,
+    rng: Optional[random.Random] = None,
+    sleep: Callable[[float], None] = time.sleep,
 ) -> _T:
-    """Run a SQLite transaction, retrying lock conflicts with backoff.
+    """Run a SQLite transaction, retrying lock conflicts with jittered backoff.
 
     ``busy_timeout`` already makes SQLite wait for a lock *inside* one
     statement, but a campaign's claim/write transactions can still lose
     the race once the timeout expires under heavy multi-worker
     contention.  This wrapper retries exactly those ``database is
-    locked``/``busy`` failures (anything else propagates immediately)
-    with exponential backoff, and reports each conflict through
-    ``on_conflict`` so the engine's claim-contention accounting
+    locked``/``busy`` failures (anything else propagates immediately),
+    and reports each conflict through ``on_conflict`` so the engine's
+    claim-contention accounting
     (:attr:`~repro.engine.backend.EngineStats.claim_conflicts`) stays
     truthful.
+
+    The delays use *decorrelated jitter* rather than pure exponential
+    backoff: each one is drawn uniformly from ``[base_delay, 3 * the
+    previous delay]`` and clamped to ``max_delay``.  N workers that
+    collide on one lock therefore spread their retries apart instead of
+    re-colliding in lockstep at 50/100/200 ms forever -- the failure
+    mode of the jitter-free schedule this replaced.  ``rng`` and
+    ``sleep`` exist for deterministic contention tests.
     """
+    rng = rng or random
+    delay = base_delay
     for attempt in range(attempts):
         try:
             return operation()
@@ -125,7 +146,8 @@ def busy_retry(
                 on_conflict()
             if attempt == attempts - 1:
                 raise
-            time.sleep(base_delay * (2 ** attempt))
+            delay = min(max_delay, rng.uniform(base_delay, delay * 3))
+            sleep(delay)
     raise AssertionError("unreachable")  # pragma: no cover
 
 
@@ -216,6 +238,16 @@ class ResultStoreBase:
         """Backend hook: the context filter changed after construction."""
 
     # -- measurement (de)serialisation ---------------------------------------------------
+
+    def encode(self, workload: Workload, measurement: Measurement) -> Dict[str, Any]:
+        """Public record form of one measurement.
+
+        Exactly the context-stamped plain-data record the backends
+        persist -- also the tuning service's wire format, which is what
+        makes "the HTTP result equals the stored record equals a direct
+        sweep, bit for bit" a single comparison.
+        """
+        return self._encode(workload, measurement)
 
     def _encode(self, workload: Workload, measurement: Measurement) -> Dict[str, Any]:
         """Serialise one measurement into a context-stamped plain-data record."""

@@ -1,0 +1,270 @@
+"""Supervised resident lifecycle for the parallel evaluation engine.
+
+The :class:`~repro.engine.parallel.ParallelEvaluator` was born
+context-managed: a script opens it, runs a campaign, closes it.  A
+long-lived service cannot work that way -- the evaluator (its worker
+pool, its shared-memory arena, its platform memos and its persistent
+store) must stay resident across thousands of requests, survive worker
+pools dying underneath it, and still tear down cleanly on SIGTERM.
+
+:class:`EvaluatorSupervisor` owns exactly that lifecycle:
+
+* explicit :meth:`start` / :meth:`stop` replace the per-run context
+  manager (both are idempotent; a stopped supervisor can be started
+  again -- pools respawn lazily and arena views republish on the next
+  batch);
+* a *pool-break policy*: the evaluator already completes the batch that
+  observed a ``BrokenProcessPool`` inline, but a resident process must
+  not thrash respawning pools against a crash-looping worker.  The
+  supervisor counts restarts (``EngineStats.supervisor_restarts``),
+  sleeps a decorrelated-jitter backoff between them, and after
+  ``max_restarts`` *degrades* the evaluator to inline-only evaluation
+  (``workers = 1``) instead of spawning pool number N+1;
+* published arena segments survive a pool break (the evaluator keeps
+  its view blocks), so a respawned pool re-attaches the same decoded
+  views zero-copy -- republish happens only if the arena itself was
+  closed;
+* :meth:`install_signal_handlers` wires SIGTERM (and optionally SIGINT)
+  to a graceful drain: the handler flips :attr:`stop_requested` and
+  invokes the caller's callback (e.g. ``HTTPServer.shutdown``) so the
+  serving loop can finish in-flight work before :meth:`stop` runs.
+
+The supervisor is itself an
+:class:`~repro.engine.backend.EvaluationBackend`: every measurement
+method delegates to the resident evaluator, so consumers written
+against the protocol -- the tuner, the campaign worker, the service
+job executor -- take a supervisor wherever they took an evaluator.
+"""
+
+from __future__ import annotations
+
+import random
+import signal
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.config.configuration import Configuration
+from repro.engine.parallel import ParallelEvaluator
+from repro.engine.store import ResultStoreBase
+from repro.platform.liquid import LiquidPlatform
+from repro.platform.measurement import Measurement
+from repro.workloads.base import Workload
+
+__all__ = ["EvaluatorSupervisor", "SupervisorStopped"]
+
+
+class SupervisorStopped(RuntimeError):
+    """An evaluation was requested outside start()/stop()."""
+
+
+class EvaluatorSupervisor:
+    """A restartable, resident :class:`ParallelEvaluator` with a crash policy.
+
+    Parameters
+    ----------
+    platform, workers, store, arena, arena_threshold:
+        Forwarded to the underlying :class:`ParallelEvaluator` (built on
+        the first :meth:`start`).
+    max_restarts:
+        Pool respawns the supervisor allows after breaks before it stops
+        trusting process pools on this host and degrades the evaluator
+        to inline evaluation for the rest of its life.
+    backoff_base, backoff_cap:
+        Decorrelated-jitter backoff bounds (seconds) slept after each
+        pool break: each delay is drawn uniformly from ``[base, 3 *
+        previous]`` and clamped to ``cap``, so crash-looping workers
+        never resynchronise the respawn attempts of several residents.
+    rng, sleep:
+        Injection points for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        platform: Optional[LiquidPlatform] = None,
+        *,
+        workers: Optional[int] = None,
+        store: Optional[ResultStoreBase] = None,
+        arena: Optional[bool] = None,
+        arena_threshold: Optional[int] = None,
+        max_restarts: int = 5,
+        backoff_base: float = 0.1,
+        backoff_cap: float = 5.0,
+        rng: Optional[random.Random] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self._factory = lambda: ParallelEvaluator(
+            platform or LiquidPlatform(), workers=workers, store=store,
+            arena=arena, arena_threshold=arena_threshold)
+        self.max_restarts = max(0, max_restarts)
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._rng = rng or random.Random()
+        self._sleep = sleep
+        self._evaluator: Optional[ParallelEvaluator] = None
+        self._last_backoff = backoff_base
+        #: Pool restarts granted so far (mirrors
+        #: ``EngineStats.supervisor_restarts`` once an evaluator exists).
+        self.restarts = 0
+        #: ``True`` once the restart budget is spent and the evaluator
+        #: was pinned to inline evaluation.
+        self.degraded = False
+        self.running = False
+        #: Flipped by the installed signal handler; serving loops poll it.
+        self.stop_requested = False
+
+    # -- lifecycle -------------------------------------------------------------------------
+
+    @property
+    def evaluator(self) -> ParallelEvaluator:
+        """The resident evaluator (built on first access or :meth:`start`)."""
+        if self._evaluator is None:
+            self._evaluator = self._factory()
+            self._evaluator.pool_break_hook = self._on_pool_break
+        return self._evaluator
+
+    def start(self) -> "EvaluatorSupervisor":
+        """Bring the resident evaluator up (idempotent).
+
+        Restartable: after :meth:`stop`, a new :meth:`start` reuses the
+        same evaluator object -- its pool respawns and its arena views
+        republish lazily on the first batch that needs them.
+        """
+        self.evaluator  # materialise
+        self.running = True
+        self.stop_requested = False
+        return self
+
+    def stop(self, *, wait: bool = True) -> None:
+        """Drain and close the resident evaluator (idempotent)."""
+        self.running = False
+        if self._evaluator is not None:
+            self._evaluator.close(wait=wait)
+
+    def __enter__(self) -> "EvaluatorSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def request_stop(self) -> None:
+        """Flag a graceful stop (thread/signal safe; loops poll the flag)."""
+        self.stop_requested = True
+
+    def install_signal_handlers(
+        self,
+        callback: Optional[Callable[[], None]] = None,
+        *,
+        signals: Sequence[int] = (signal.SIGTERM,),
+    ) -> None:
+        """Route SIGTERM (by default) into a graceful drain.
+
+        The handler only flips :attr:`stop_requested` and invokes
+        ``callback`` (which must itself be handler-safe: set a flag or
+        an event, never block -- ``HTTPServer.shutdown`` for example
+        *waits* for the serve loop and deadlocks if that loop runs on
+        the signalled thread): in-flight evaluations finish, the
+        serving loop notices the flag, and the *owner* calls
+        :meth:`stop`.  Nothing is killed mid-batch.
+        """
+
+        def handle(signum, frame):  # pragma: no cover - exercised via CLI
+            self.request_stop()
+            if callback is not None:
+                callback()
+
+        for signum in signals:
+            signal.signal(signum, handle)
+
+    # -- the pool-break policy -------------------------------------------------------------
+
+    def _on_pool_break(self) -> None:
+        """Called by the evaluator after a pool died (batch already done inline).
+
+        Grants a lazily-respawned pool after a decorrelated-jitter
+        backoff while the restart budget lasts; past the cap the
+        evaluator is degraded to inline evaluation so a host that keeps
+        killing workers (OOM, cgroup limits) stops paying spawn churn.
+        """
+        self.restarts += 1
+        stats = self.evaluator.stats
+        stats.supervisor_restarts = self.restarts
+        if self.restarts > self.max_restarts:
+            if not self.degraded:
+                self.degraded = True
+                self.evaluator.workers = 1
+                stats.registry.gauge("supervisor.degraded").set(1)
+            return
+        delay = min(self.backoff_cap,
+                    self._rng.uniform(self.backoff_base, self._last_backoff * 3))
+        self._last_backoff = max(delay, self.backoff_base)
+        stats.registry.histogram("supervisor.backoff_seconds").observe(delay)
+        self._sleep(delay)
+
+    # -- EvaluationBackend delegation ------------------------------------------------------
+
+    def _require_running(self) -> ParallelEvaluator:
+        if not self.running:
+            raise SupervisorStopped(
+                "supervisor is not running; call start() before evaluating")
+        return self.evaluator
+
+    @property
+    def platform(self) -> LiquidPlatform:
+        return self.evaluator.platform
+
+    @property
+    def store(self) -> Optional[ResultStoreBase]:
+        return self.evaluator.store
+
+    @property
+    def stats(self):
+        return self.evaluator.stats
+
+    @property
+    def device(self):
+        return self.evaluator.device
+
+    def build(self, config: Configuration):
+        return self._require_running().build(config)
+
+    def profile(self, workload: Workload, config: Configuration):
+        return self._require_running().profile(workload, config)
+
+    def fits(self, config: Configuration) -> bool:
+        return self._require_running().fits(config)
+
+    def effort(self) -> Dict[str, int]:
+        return self.evaluator.effort()
+
+    def measure(self, workload: Workload, config: Configuration) -> Measurement:
+        return self._require_running().measure(workload, config)
+
+    def measure_many(
+        self, workload: Workload, configs: Sequence[Configuration]
+    ) -> List[Measurement]:
+        return self._require_running().measure_many(workload, configs)
+
+    def measure_many_multi(self, batches) -> Dict[Workload, List[Measurement]]:
+        return self._require_running().measure_many_multi(batches)
+
+    def measure_sweep(
+        self, workload: Workload, configs: Sequence[Configuration]
+    ) -> List[Measurement]:
+        return self._require_running().measure_sweep(workload, configs)
+
+    def measure_phases(self, workload, configs: Sequence[Configuration]) -> List:
+        return self._require_running().measure_phases(workload, configs)
+
+    def close(self, *, wait: bool = True) -> None:
+        """Alias for :meth:`stop` (consumers holding a bare evaluator call it)."""
+        self.stop(wait=wait)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Supervisor health for the service ``/metrics`` endpoint."""
+        return {
+            "running": self.running,
+            "stop_requested": self.stop_requested,
+            "restarts": self.restarts,
+            "max_restarts": self.max_restarts,
+            "degraded": self.degraded,
+        }

@@ -39,8 +39,12 @@ def campaign_snapshot(
 
     ``rows_per_sec`` aggregates the self-reported throughput of every
     non-stale worker; ``eta_seconds`` divides the not-yet-done rows by
-    it (``None`` while no live worker reports progress).  The result is
-    JSON-serialisable as-is.
+    it (``None`` while no live worker reports progress).  ``stalled``
+    flags the campaign whose workers have all gone silent: rows are
+    still pending but every known worker's heartbeat has aged past
+    ``stale_after``, so live throughput is zero and no ETA exists --
+    the state a normal-looking progress bar used to hide.  The result
+    is JSON-serialisable as-is.
     """
     now = time.time() if now is None else now
     counts = grid.status()
@@ -71,6 +75,8 @@ def campaign_snapshot(
 
     pending = counts["total"] - counts[STATUS_DONE]
     eta = round(pending / throughput, 1) if throughput > 0 and pending else None
+    live = [worker for worker in workers if not worker["stale"]]
+    stalled = bool(pending and workers and not live)
     return {
         "ts": now,
         "counts": counts,
@@ -78,6 +84,7 @@ def campaign_snapshot(
         "workers": workers,
         "rows_per_sec": round(throughput, 2),
         "eta_seconds": eta,
+        "stalled": stalled,
         "failures": [
             {"id": rowid, "workload": workload, "attempts": attempts,
              "error": error}
@@ -108,6 +115,12 @@ def render_dashboard(snapshot: Dict[str, Any]) -> str:
     if snapshot["eta_seconds"] is not None:
         lines.append(f"  throughput {snapshot['rows_per_sec']:.2f} rows/s, "
                      f"ETA {snapshot['eta_seconds']:.0f}s")
+    elif snapshot.get("stalled"):
+        pending = total - done
+        stale = sum(1 for worker in snapshot["workers"] if worker["stale"])
+        lines.append(
+            f"  STALLED: {pending} rows pending, zero live throughput "
+            f"({stale} stale worker{'s' if stale != 1 else ''}, no ETA)")
 
     if snapshot["workloads"]:
         lines.append("  workloads:")

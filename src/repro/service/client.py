@@ -1,0 +1,157 @@
+"""Minimal stdlib client of the tuning service.
+
+A thin ``urllib.request`` wrapper over the five routes -- no sessions,
+no retries beyond polling, no dependency.  Used by the service tests,
+the CI service job and the README walkthrough; also runnable as a tiny
+CLI::
+
+    python -m repro.service.client --url http://127.0.0.1:8023 sweep blastn
+    python -m repro.service.client --url http://127.0.0.1:8023 wait <job-id>
+    python -m repro.service.client --url http://127.0.0.1:8023 metrics
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx service response (carries status and the error body)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Talk to a running tuning service at ``base_url``."""
+
+    def __init__(self, base_url: str, *, timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers,
+                                         method=method)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read().decode("utf-8"))
+                message = body.get("error", str(body))
+            except Exception:
+                message = exc.reason
+            raise ServiceError(exc.code, message) from None
+
+    # -- the routes ------------------------------------------------------------------------
+
+    def health(self) -> bool:
+        return bool(self._request("GET", "/healthz").get("ok"))
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/metrics")
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def submit_sweep(
+        self,
+        workload: str,
+        configs: Optional[List[Dict[str, Any]]] = None,
+        **extra: Any,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"workload": workload, **extra}
+        if configs is not None:
+            payload["configs"] = configs
+        return self._request("POST", "/sweep", payload)
+
+    def submit_tune(
+        self, workload: str, weights: Any = "runtime", **extra: Any
+    ) -> Dict[str, Any]:
+        payload = {"workload": workload, "weights": weights, **extra}
+        return self._request("POST", "/tune", payload)
+
+    # -- convenience -----------------------------------------------------------------------
+
+    def wait(
+        self, job_id: str, *, timeout: float = 600.0, poll: float = 0.2
+    ) -> Dict[str, Any]:
+        """Poll until the job leaves the queue; raise on failure/timeout."""
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = self.job(job_id)
+            if snapshot["status"] == "done":
+                return snapshot
+            if snapshot["status"] == "failed":
+                raise ServiceError(500, f"job {job_id} failed: "
+                                        f"{snapshot.get('error')}")
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    504, f"job {job_id} still {snapshot['status']} "
+                         f"after {timeout:.0f}s")
+            time.sleep(poll)
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description="tuning service client")
+    parser.add_argument("--url", default="http://127.0.0.1:8023")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="seconds to wait for submitted jobs")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sweep = sub.add_parser("sweep", help="submit a sweep and wait for it")
+    sweep.add_argument("workload")
+    tune = sub.add_parser("tune", help="submit a tune job and wait for it")
+    tune.add_argument("workload")
+    tune.add_argument("--weights", default="runtime")
+    job = sub.add_parser("job", help="print one job's status")
+    job.add_argument("job_id")
+    wait = sub.add_parser("wait", help="block until a job finishes")
+    wait.add_argument("job_id")
+    sub.add_parser("metrics", help="print the /metrics document")
+    sub.add_parser("health", help="exit 0 when the service is live")
+    args = parser.parse_args(argv)
+
+    client = ServiceClient(args.url)
+    if args.command == "sweep":
+        submitted = client.submit_sweep(args.workload)
+        result = client.wait(submitted["id"], timeout=args.timeout)
+    elif args.command == "tune":
+        submitted = client.submit_tune(args.workload, weights=args.weights)
+        result = client.wait(submitted["id"], timeout=args.timeout)
+    elif args.command == "job":
+        result = client.job(args.job_id)
+    elif args.command == "wait":
+        result = client.wait(args.job_id, timeout=args.timeout)
+    elif args.command == "metrics":
+        result = client.metrics()
+    else:
+        return 0 if client.health() else 1
+    print(json.dumps(result, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_main())

@@ -338,3 +338,79 @@ class TestCampaignCli:
         status = self._run("--grid-db", db, "--status", "--assert-drained")
         assert status.returncode == 0, status.stdout + status.stderr
         assert "0 open" in status.stdout
+
+
+class TestAttemptAccountingAtTheCap:
+    """Attempt counters at the ``max_attempts`` boundary.
+
+    The budget arithmetic mixes three moves -- claiming burns an attempt,
+    clean release refunds one, stale reclamation keeps it burnt -- and
+    the boundary cases are where a bug would park rows forever (counter
+    over the cap) or retry them forever (counter below zero).
+    """
+
+    @staticmethod
+    def _attempts(grid):
+        return dict(grid._conn.execute("SELECT id, attempts FROM experiments"))
+
+    def test_row_at_exactly_the_cap_is_unclaimable_and_retires(
+            self, tmp_path, base_config, arith_small):
+        cap = 2
+        with CampaignGrid(str(tmp_path / "grid.sqlite")) as grid:
+            grid.register(arith_small, grid_configs(base_config, 2))
+            for crasher in ("w1", "w2"):
+                rows = grid.claim(crasher, batch=100, max_attempts=cap)
+                assert len(rows) == 2
+                assert grid.reclaim_stale(0.0) == 2  # burnt, not refunded
+            assert set(self._attempts(grid).values()) == {cap}
+            # exactly at the cap: not claimable, but not yet failed either
+            assert grid.claim("w3", batch=100, max_attempts=cap) == []
+            assert grid.status()[STATUS_OPEN] == 2
+            assert grid.retire_exhausted(cap) == 2
+            assert grid.status()[STATUS_FAILED] == 2
+            # retiring never bumps the counter past the cap
+            assert set(self._attempts(grid).values()) == {cap}
+
+    def test_clean_release_refunds_and_floors_at_zero(
+            self, tmp_path, base_config, arith_small):
+        with CampaignGrid(str(tmp_path / "grid.sqlite")) as grid:
+            grid.register(arith_small, grid_configs(base_config, 2))
+            rows = grid.claim("w1", batch=100)
+            ids = [row.rowid for row in rows]
+            assert grid.release(ids) == 2
+            assert set(self._attempts(grid).values()) == {0}
+            # releasing rows that are no longer claimed is a no-op, not
+            # a second refund driving the counter negative
+            assert grid.release(ids) == 0
+            assert grid.release_worker("w1") == 0
+            assert set(self._attempts(grid).values()) == {0}
+            # even a row whose counter was never bumped (crash between
+            # the claim UPDATE's bookkeeping and a manual repair) floors
+            # at zero instead of going negative
+            grid._conn.execute(
+                "UPDATE experiments SET status = 'claimed', worker = 'w1',"
+                " attempts = 0")
+            grid._conn.commit()
+            assert grid.release_worker("w1") == 2
+            assert set(self._attempts(grid).values()) == {0}
+            assert grid.status()[STATUS_OPEN] == 2
+
+    def test_reclaim_then_release_stays_inside_the_budget(
+            self, tmp_path, base_config, arith_small):
+        cap = 2
+        with CampaignGrid(str(tmp_path / "grid.sqlite")) as grid:
+            grid.register(arith_small, grid_configs(base_config, 2))
+            grid.claim("w1", batch=100, max_attempts=cap)
+            assert grid.reclaim_stale(0.0) == 2        # attempts: 1 (burnt)
+            rows = grid.claim("w2", batch=100, max_attempts=cap)
+            assert len(rows) == 2                       # attempts: 2 (at cap)
+            assert set(self._attempts(grid).values()) == {cap}
+            assert grid.release([row.rowid for row in rows]) == 2  # refund: 1
+            assert set(self._attempts(grid).values()) == {1}
+            # the refunded attempt is claimable again, back to the cap
+            rows = grid.claim("w3", batch=100, max_attempts=cap)
+            assert len(rows) == 2
+            attempts = set(self._attempts(grid).values())
+            assert attempts == {cap}
+            assert grid.release_worker("w3") == 2
+            assert set(self._attempts(grid).values()) == {1}

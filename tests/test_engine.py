@@ -11,6 +11,7 @@ breakdown), across all four paper workloads.
 """
 
 import ast
+import gc
 import pathlib
 
 import pytest
@@ -314,6 +315,45 @@ class TestEvaluatorHygiene:
         measurement = engine.measure(arith_small, base_config)
         engine.close()
         assert measurement == LiquidPlatform().measure(arith_small, base_config)
+
+    def test_gc_finalizer_never_joins_workers(self):
+        """A collected evaluator must not block on pool shutdown.
+
+        ``shutdown(wait=True)`` from ``__del__`` can hang interpreter
+        teardown on a wedged worker; the finalizer must always pass
+        ``wait=False`` (explicit ``close()`` keeps waiting, below).
+        """
+
+        class RecordingPool:
+            calls = []  # survives the evaluator's collection
+
+            def shutdown(self, wait=True):
+                RecordingPool.calls.append(wait)
+
+        RecordingPool.calls = []
+        engine = ParallelEvaluator(workers=2)
+        engine._pool = RecordingPool()
+        del engine
+        gc.collect()
+        assert RecordingPool.calls == [False], \
+            "the finalizer joined (or never shut down) the worker pool"
+
+    def test_explicit_close_still_joins_workers(self):
+        class RecordingPool:
+            def __init__(self):
+                self.calls = []
+
+            def shutdown(self, wait=True):
+                self.calls.append(wait)
+
+        engine = ParallelEvaluator(workers=2)
+        pool = RecordingPool()
+        engine._pool = pool
+        engine.close()
+        assert pool.calls == [True]
+        engine._pool = pool
+        engine.close(wait=False)
+        assert pool.calls == [True, False]
 
     def test_scripts_and_benchmarks_context_manage_every_evaluator(self):
         """Every ParallelEvaluator in scripts/ and benchmarks/ is a `with` item.

@@ -422,6 +422,62 @@ class TestDashboard:
         assert "w1" in text and "STALE" in text
         assert "arith" in text
 
+    def test_all_workers_stale_renders_stalled_not_a_normal_bar(
+            self, tmp_path, base_config, arith_small):
+        """Pending rows + every heartbeat stale = STALLED, not 'no ETA'.
+
+        The old rendering guarded only on ``throughput > 0``, so a
+        campaign whose workers all died looked exactly like one that was
+        merely between batches; the snapshot now carries an explicit
+        ``stalled`` flag and the dashboard says so.
+        """
+        with self._grid_with_progress(tmp_path, base_config,
+                                      arith_small) as grid:
+            grid.heartbeat("w1", done=1, rows_per_sec=2.0)
+            grid.heartbeat("w2", done=1, rows_per_sec=3.0)
+            now = grid.worker_heartbeats()[0]["ts"]
+            snapshot = campaign_snapshot(grid, stale_after=300,
+                                         now=now + 1000)
+            assert snapshot["stalled"] is True
+            assert snapshot["eta_seconds"] is None
+            assert snapshot["rows_per_sec"] == 0.0
+            text = render_dashboard(snapshot)
+            assert "STALLED" in text
+            assert "4 rows pending" in text
+            assert "2 stale workers" in text
+
+    def test_one_live_worker_clears_the_stall(self, tmp_path, base_config,
+                                              arith_small):
+        with self._grid_with_progress(tmp_path, base_config,
+                                      arith_small) as grid:
+            grid.heartbeat("dead", done=1, rows_per_sec=3.0)
+            grid.heartbeat("live", done=1, rows_per_sec=2.0)
+            now = grid.worker_heartbeats()[0]["ts"]
+            grid._conn.execute(
+                "UPDATE heartbeats SET ts = ? WHERE worker = 'dead'",
+                (now - 1000,))
+            grid._conn.commit()
+            snapshot = campaign_snapshot(grid, stale_after=300, now=now)
+        assert snapshot["stalled"] is False
+        assert snapshot["eta_seconds"] is not None
+        assert "STALLED" not in render_dashboard(snapshot)
+
+    def test_no_workers_or_no_pending_rows_is_not_a_stall(
+            self, tmp_path, base_config, arith_small):
+        with self._grid_with_progress(tmp_path, base_config,
+                                      arith_small) as grid:
+            # a freshly registered grid has no workers yet: not stalled
+            assert campaign_snapshot(grid)["stalled"] is False
+            # a drained grid with only stale heartbeats left: not stalled
+            grid.heartbeat("w1", done=4, rows_per_sec=1.0)
+            now = grid.worker_heartbeats()[0]["ts"]
+            grid._conn.execute("UPDATE experiments SET status = 'done'")
+            grid._conn.commit()
+            snapshot = campaign_snapshot(grid, stale_after=300,
+                                         now=now + 1000)
+            assert snapshot["stalled"] is False
+            assert "STALLED" not in render_dashboard(snapshot)
+
     def test_watch_honours_refresh_budget_and_detects_drain(
             self, tmp_path, base_config, arith_small):
         with self._grid_with_progress(tmp_path, base_config,
@@ -465,6 +521,26 @@ class TestObservabilityCli:
         snapshot = json.loads(result.stdout)
         assert snapshot["counts"]["open"] > 0
         assert snapshot["workers"] == []
+        # the stall flag is part of the machine-readable contract
+        assert snapshot["stalled"] is False
+
+    def test_status_json_reports_a_stalled_campaign(self, tmp_path):
+        db = self._registered(tmp_path)
+        with CampaignGrid(db) as grid:
+            grid.heartbeat("w1", done=0, rows_per_sec=1.0)
+            grid._conn.execute("UPDATE heartbeats SET ts = ts - 1000")
+            grid._conn.commit()
+        result = self._run("--grid-db", db, "--status", "--json",
+                           "--stale-after", "300")
+        assert result.returncode == 0, result.stderr
+        snapshot = json.loads(result.stdout)
+        assert snapshot["stalled"] is True
+        assert snapshot["eta_seconds"] is None
+        watch = self._run("--grid-db", db, "--status", "--watch",
+                          "--interval", "0.1", "--watch-max", "1",
+                          "--stale-after", "300")
+        assert watch.returncode == 0, watch.stderr
+        assert "STALLED" in watch.stdout
 
     def test_plain_status_format_is_unchanged(self, tmp_path):
         db = self._registered(tmp_path)

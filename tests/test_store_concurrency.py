@@ -10,10 +10,14 @@ deduplicates racing writers), and a resuming evaluator answers entirely
 from the store regardless of which writer produced each row.
 """
 
+import random
+import sqlite3
 import threading
 
+import pytest
+
 from repro.config import base_configuration
-from repro.engine import ParallelEvaluator, SqliteResultStore, open_store
+from repro.engine import ParallelEvaluator, SqliteResultStore, busy_retry, open_store
 from repro.engine.store import workload_fingerprint
 from repro.platform import LiquidPlatform
 
@@ -108,3 +112,76 @@ class TestThreadedWriters:
             from repro.engine.store import _config_key_string
             assert (fingerprint, _config_key_string(config)) in store
             assert store.get(arith_small, config) == expected
+
+
+class TestBusyRetryBackoff:
+    """The lock-retry backoff is decorrelated jitter, not lockstep.
+
+    Jitter-free exponential backoff makes every colliding writer sleep
+    the same schedule, so they wake simultaneously and collide again.
+    Decorrelated jitter (each delay drawn from ``[base, 3 * previous]``,
+    clamped to the cap) spreads the retries out.
+    """
+
+    @staticmethod
+    def _locked_then_ok(conflicts):
+        """An operation that raises ``database is locked`` N times."""
+        state = {"left": conflicts}
+
+        def operation():
+            if state["left"] > 0:
+                state["left"] -= 1
+                raise sqlite3.OperationalError("database is locked")
+            return "ok"
+
+        return operation
+
+    def _delays(self, seed, conflicts=5, **kwargs):
+        slept = []
+        result = busy_retry(
+            self._locked_then_ok(conflicts), attempts=conflicts + 1,
+            rng=random.Random(seed), sleep=slept.append, **kwargs)
+        assert result == "ok"
+        return slept
+
+    def test_delays_are_jittered_within_base_and_cap(self):
+        delays = self._delays(seed=1, base_delay=0.05, max_delay=2.0)
+        assert len(delays) == 5
+        assert all(0.05 <= delay <= 2.0 for delay in delays)
+        # jitter: a growing-by-3x deterministic ladder would be strictly
+        # monotone with delay[i] == 3 * delay[i-1]; drawn delays are not
+        assert delays != sorted(set([0.05 * 3 ** i for i in range(5)]))[:5]
+
+    def test_two_retry_chains_do_not_sleep_in_lockstep(self):
+        first = self._delays(seed=1)
+        second = self._delays(seed=2)
+        assert first != second, (
+            "identical sleep schedules resynchronise colliding writers")
+
+    def test_conflicts_are_still_accounted(self):
+        from repro.obs.metrics import get_registry
+
+        get_registry().drain()  # isolate this test's counts
+        on_conflict_calls = []
+        busy_retry(
+            self._locked_then_ok(3), attempts=6,
+            rng=random.Random(3), sleep=lambda delay: None,
+            on_conflict=lambda: on_conflict_calls.append(1))
+        assert len(on_conflict_calls) == 3
+        snapshot = get_registry().drain()
+        assert snapshot["store.lock_conflicts"]["value"] == 3
+
+    def test_budget_exhaustion_reraises_the_lock_error(self):
+        with pytest.raises(sqlite3.OperationalError):
+            busy_retry(
+                self._locked_then_ok(10), attempts=3,
+                rng=random.Random(4), sleep=lambda delay: None)
+
+    def test_foreign_operational_errors_pass_straight_through(self):
+        def broken():
+            raise sqlite3.OperationalError("no such table: nope")
+
+        slept = []
+        with pytest.raises(sqlite3.OperationalError, match="no such table"):
+            busy_retry(broken, rng=random.Random(5), sleep=slept.append)
+        assert slept == []  # no retries, no sleeps
